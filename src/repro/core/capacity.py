@@ -1,0 +1,201 @@
+"""Counting the capacity misses (Algorithm 1 of the paper).
+
+Given the distance pieces of an access, the capacity misses for a cache of
+``C`` lines are the iteration-domain points whose stack distance exceeds
+``C``.  Affine (degree <= 1) pieces are counted symbolically; non-affine
+pieces first go through the floor-elimination rewrites (equalization,
+rasterization) and finally through *partial enumeration*: only the dimensions
+that make the polynomial non-affine are enumerated explicitly while the
+remaining dimensions are still counted symbolically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..isl.constraints import ConstraintSystem, enumerate_points, ge
+from ..isl.counting import CountingError, cardinality
+from ..isl.qpoly import Div, QPoly
+from .distance import DistancePiece
+from .elimination import equalize, rasterize
+from .prevmap import ModelFallbackRequired
+from .regions import feasible
+
+__all__ = ["CapacityCounter", "CapacityCountStats", "CounterOptions"]
+
+
+@dataclass
+class CounterOptions:
+    """Feature toggles for the ablation study of Figure 14."""
+
+    equalization: bool = True
+    rasterization: bool = True
+    partial_enumeration: bool = True
+    #: Hard limit on the number of explicitly enumerated points before the
+    #: counter gives up and requests a model-level fallback.
+    max_enumerated_points: int = 2_000_000
+
+
+@dataclass
+class CapacityCountStats:
+    """Statistics of one counting run (pieces, splits, enumerated points)."""
+
+    pieces_counted: int = 0
+    affine_pieces: int = 0
+    nonaffine_pieces: int = 0
+    equalized_pieces: int = 0
+    rasterized_pieces: int = 0
+    enumerated_points: int = 0
+    #: For every non-affine polynomial encountered: the number of dimensions
+    #: that could still be counted symbolically (Table 1 of the paper).
+    nonaffine_affine_dims: List[int] = field(default_factory=list)
+
+    def merge(self, other: "CapacityCountStats") -> None:
+        self.pieces_counted += other.pieces_counted
+        self.affine_pieces += other.affine_pieces
+        self.nonaffine_pieces += other.nonaffine_pieces
+        self.equalized_pieces += other.equalized_pieces
+        self.rasterized_pieces += other.rasterized_pieces
+        self.enumerated_points += other.enumerated_points
+        self.nonaffine_affine_dims.extend(other.nonaffine_affine_dims)
+
+
+class CapacityCounter:
+    """Counts cache misses of distance pieces against a cache capacity."""
+
+    def __init__(self, loop_vars: Sequence[str], options: Optional[CounterOptions] = None) -> None:
+        self.loop_vars = list(loop_vars)
+        self.options = options or CounterOptions()
+        self.stats = CapacityCountStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def count_misses(self, pieces: Sequence[DistancePiece], capacity_lines: int) -> int:
+        """Total number of accesses whose stack distance exceeds the capacity."""
+        total = 0
+        for piece in pieces:
+            total += self._count_piece(piece, capacity_lines)
+        return total
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def _count_piece(self, piece: DistancePiece, capacity_lines: int) -> int:
+        self.stats.pieces_counted += 1
+        polynomial = piece.polynomial
+        if polynomial.is_constant():
+            self.stats.affine_pieces += 1
+            if polynomial.constant_value() > capacity_lines:
+                return self._cardinality(piece.domain)
+            return 0
+        if polynomial.is_affine():
+            self.stats.affine_pieces += 1
+            return self._count_affine(piece, capacity_lines)
+
+        # Non-affine piece: try the floor-elimination rewrites first.
+        if self.options.equalization:
+            rewritten = equalize(piece)
+            if rewritten is not None:
+                self.stats.equalized_pieces += 1
+                return sum(self._count_piece(sub, capacity_lines) for sub in rewritten)
+        if self.options.rasterization:
+            rewritten = rasterize(piece)
+            if rewritten is not None:
+                self.stats.rasterized_pieces += 1
+                return sum(self._count_piece(sub, capacity_lines) for sub in rewritten)
+
+        self.stats.nonaffine_pieces += 1
+        return self._count_partial_enumeration(piece, capacity_lines)
+
+    def _count_affine(self, piece: DistancePiece, capacity_lines: int) -> int:
+        miss_set = piece.domain.conjoin([ge(piece.polynomial - (capacity_lines + 1), 0)])
+        if not feasible(miss_set):
+            return 0
+        return self._cardinality(miss_set)
+
+    def _count_partial_enumeration(self, piece: DistancePiece, capacity_lines: int) -> int:
+        """Enumerate the non-affine dimensions, count the rest symbolically."""
+        enumeration_vars = self._enumeration_variables(piece.polynomial)
+        symbolic_dims = len([v for v in self.loop_vars if v not in enumeration_vars])
+        self.stats.nonaffine_affine_dims.append(symbolic_dims)
+        if not self.options.partial_enumeration:
+            # Explicit enumeration of all dimensions (the Figure 14 baseline).
+            enumeration_vars = [v for v in self.loop_vars if piece.domain.involves(v) or piece.polynomial.involves(v)]
+        if not enumeration_vars:
+            raise ModelFallbackRequired("non-affine piece without enumerable dimensions")
+        total = 0
+        for point in enumerate_points(piece.domain, enumeration_vars):
+            self.stats.enumerated_points += 1
+            if self.stats.enumerated_points > self.options.max_enumerated_points:
+                raise ModelFallbackRequired("partial enumeration exceeded the point budget")
+            bound_domain = piece.domain.substitute(point)
+            bound_poly = piece.polynomial.substitute(point)
+            bound_piece = DistancePiece(bound_domain, bound_poly)
+            if bound_poly.is_affine():
+                if bound_poly.is_constant():
+                    if bound_poly.constant_value() > capacity_lines:
+                        total += self._cardinality(bound_domain)
+                else:
+                    total += self._count_affine(bound_piece, capacity_lines)
+            else:
+                # Should not happen: binding the selected dimensions makes the
+                # polynomial affine by construction; guard for safety.
+                raise ModelFallbackRequired("partial enumeration left a non-affine polynomial")
+        return total
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _cardinality(self, domain: ConstraintSystem) -> int:
+        count_vars = [v for v in self.loop_vars if domain.involves(v)]
+        try:
+            return cardinality(domain, count_vars)
+        except CountingError as exc:
+            raise ModelFallbackRequired(f"symbolic cardinality failed: {exc}") from exc
+
+    def _enumeration_variables(self, polynomial: QPoly) -> List[str]:
+        """Greedy choice of dimensions whose binding makes the poly affine."""
+        selected: List[str] = []
+        while not _is_affine_given(polynomial, set(selected)):
+            counts: Dict[str, int] = {}
+            for monomial in polynomial.terms:
+                if _monomial_degree_given(monomial, set(selected)) <= 1:
+                    continue
+                for name in _monomial_variables(monomial):
+                    if name not in selected:
+                        counts[name] = counts.get(name, 0) + 1
+            if not counts:
+                break
+            best = max(sorted(counts), key=lambda name: counts[name])
+            selected.append(best)
+        return selected
+
+
+def _monomial_variables(monomial) -> Set[str]:
+    names: Set[str] = set()
+    for sym, _ in monomial:
+        if isinstance(sym, Div):
+            names |= {v for v in sym.argument().free_variables()}
+        else:
+            names.add(sym)
+    return names
+
+
+def _monomial_degree_given(monomial, fixed: Set[str]) -> int:
+    degree = 0
+    for sym, exp in monomial:
+        if isinstance(sym, Div):
+            free = sym.argument().free_variables()
+            if free and free.issubset(fixed):
+                continue
+        elif sym in fixed:
+            continue
+        degree += exp
+    return degree
+
+
+def _is_affine_given(polynomial: QPoly, fixed: Set[str]) -> bool:
+    return all(_monomial_degree_given(monomial, fixed) <= 1 for monomial in polynomial.terms)

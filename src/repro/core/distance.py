@@ -1,0 +1,217 @@
+"""Symbolic backward stack distances for every access of a SCoP.
+
+For a target access ``x`` with previous same-line access ``p(x)`` the backward
+stack distance is the number of *distinct cache lines* touched in the reuse
+window ``[p(x), x]`` (inclusive on both ends, exactly the quantity of the
+paper's running example).  The reproduction counts it with the *first-touch*
+identity::
+
+    distance(x) = #{ accesses k in the window | k is the first access of its
+                     cache line inside the window }
+
+An access ``k`` is the first access of its line inside the window iff it has
+no previous access at all or its previous access lies before the window
+start.  Both conditions are affine once the previous-access map is available,
+so each contribution is a parametric point count handled by
+:mod:`repro.isl.counting`.  This formulation is mathematically identical to
+the paper's ``|A ∘ (F ∩ B)|`` image count but avoids projection counting
+(see DESIGN.md, substitutions).
+
+The result for every access is a list of disjoint pieces ``(domain,
+quasi-polynomial)`` over the statement's loop variables — the paper's
+*distance set* D — plus the first-touch (compulsory) regions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isl.constraints import ConstraintSystem
+from ..isl.counting import CountingError, count_points
+from ..isl.qpoly import QPoly
+from ..scop.scop import Scop
+from .prevmap import ModelFallbackRequired, PrevMapBuilder, PrevRegion
+from .refs import AccessInstance, rename_map
+from .regions import feasible, lex_order_disjuncts, subtract
+
+__all__ = ["AccessDistances", "DistancePiece", "StackDistanceAnalysis"]
+
+COUNT_PREFIX = "cnt$"
+
+
+@dataclass
+class DistancePiece:
+    """Backward stack distance on a sub-domain of the target's iterations."""
+
+    domain: ConstraintSystem
+    polynomial: QPoly
+
+    def is_affine(self) -> bool:
+        return self.polynomial.is_affine()
+
+
+@dataclass
+class AccessDistances:
+    """Distance information for one access instance."""
+
+    access: AccessInstance
+    #: Pieces with a defined backward stack distance.
+    pieces: List[DistancePiece] = field(default_factory=list)
+    #: Regions whose accesses touch their cache line for the first time.
+    first_touch_domains: List[ConstraintSystem] = field(default_factory=list)
+
+    def piece_count(self) -> int:
+        return len(self.pieces)
+
+
+class StackDistanceAnalysis:
+    """Computes the symbolic stack distances of every access of a SCoP."""
+
+    def __init__(self, scop: Scop, *, line_size: int = 64) -> None:
+        self.scop = scop
+        self.line_size = line_size
+        self.prev_builder = PrevMapBuilder(scop, line_size=line_size)
+        self.schedule_length = scop.schedule_length()
+        #: Wall-clock seconds spent in the stack-distance phase (Figure 11).
+        self.elapsed_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def analyze(self) -> List[AccessDistances]:
+        start = time.perf_counter()
+        prev_maps = self.prev_builder.all_prev_regions()
+        results = []
+        for access in self.prev_builder.accesses:
+            results.append(self._distances_for(access, prev_maps))
+        self.elapsed_seconds = time.perf_counter() - start
+        return results
+
+    # ------------------------------------------------------------------
+    # Per-access computation
+    # ------------------------------------------------------------------
+    def _distances_for(
+        self,
+        target: AccessInstance,
+        prev_maps: Dict[Tuple[str, int], List[PrevRegion]],
+    ) -> AccessDistances:
+        result = AccessDistances(access=target)
+        target_schedule = target.schedule_exprs(self.schedule_length)
+        for region in prev_maps[target.key]:
+            if region.is_first_touch:
+                result.first_touch_domains.append(region.domain)
+                continue
+            window_start = region.candidate.schedule
+            contributions = self._window_contributions(region, window_start, target_schedule, prev_maps)
+            result.pieces.extend(self._accumulate(region.domain, contributions))
+        return result
+
+    def _window_contributions(
+        self,
+        region: PrevRegion,
+        window_start: Sequence[QPoly],
+        window_end: Sequence[QPoly],
+        prev_maps: Dict[Tuple[str, int], List[PrevRegion]],
+    ) -> List[Tuple[ConstraintSystem, QPoly]]:
+        """First-touch counts contributed by every access of the program."""
+        contributions: List[Tuple[ConstraintSystem, QPoly]] = []
+        for witness in self.prev_builder.accesses:
+            rename = rename_map(witness.statement, COUNT_PREFIX)
+            witness_vars = witness.loop_vars(COUNT_PREFIX)
+            witness_domain = witness.domain(COUNT_PREFIX)
+            witness_schedule = witness.schedule_exprs(self.schedule_length, COUNT_PREFIX)
+
+            lower_disjuncts = lex_order_disjuncts(window_start, witness_schedule, strict=False)
+            upper_disjuncts = lex_order_disjuncts(witness_schedule, window_end, strict=False)
+            if not lower_disjuncts or not upper_disjuncts:
+                continue
+
+            for witness_region in prev_maps[witness.key]:
+                witness_piece_domain = witness_region.domain.substitute(rename)
+                if witness_region.is_first_touch:
+                    first_touch_disjuncts: List[List] = [[]]
+                else:
+                    witness_prev_schedule = tuple(
+                        expr.substitute(rename) for expr in witness_region.candidate.schedule
+                    )
+                    first_touch_disjuncts = lex_order_disjuncts(witness_prev_schedule, window_start, strict=True)
+                    if not first_touch_disjuncts:
+                        continue
+
+                for lower in lower_disjuncts:
+                    for upper in upper_disjuncts:
+                        for first_touch in first_touch_disjuncts:
+                            system = region.domain.conjoin(witness_domain)
+                            system = system.conjoin(witness_piece_domain)
+                            for constraint in lower + upper + first_touch:
+                                system.add(constraint)
+                            if not feasible(system):
+                                continue
+                            try:
+                                pieces = count_points(system, witness_vars)
+                            except CountingError as exc:
+                                raise ModelFallbackRequired(
+                                    f"cannot count reuse window of {witness!r}: {exc}"
+                                ) from exc
+                            contributions.extend(pieces)
+        return contributions
+
+    # ------------------------------------------------------------------
+    # Piecewise accumulation
+    # ------------------------------------------------------------------
+    def _accumulate(
+        self,
+        base_domain: ConstraintSystem,
+        contributions: List[Tuple[ConstraintSystem, QPoly]],
+    ) -> List[DistancePiece]:
+        """Sum overlapping contribution pieces into a disjoint partition."""
+        grouped = self._group_by_domain(contributions)
+        pieces: List[Tuple[ConstraintSystem, QPoly]] = [(base_domain, QPoly())]
+        base_keys = _constraint_keys(base_domain)
+        for domain, polynomial in grouped:
+            extra = [c for c in domain.constraints if _constraint_key(c) not in base_keys]
+            updated: List[Tuple[ConstraintSystem, QPoly]] = []
+            for piece_domain, piece_poly in pieces:
+                if not extra:
+                    updated.append((piece_domain, piece_poly + polynomial))
+                    continue
+                piece_keys = _constraint_keys(piece_domain)
+                novel = [c for c in extra if _constraint_key(c) not in piece_keys]
+                if not novel:
+                    updated.append((piece_domain, piece_poly + polynomial))
+                    continue
+                restriction = ConstraintSystem(novel)
+                overlap = piece_domain.conjoin(restriction)
+                if not feasible(overlap):
+                    updated.append((piece_domain, piece_poly))
+                    continue
+                for part in subtract(piece_domain, restriction):
+                    updated.append((part, piece_poly))
+                updated.append((overlap, piece_poly + polynomial))
+            pieces = updated
+        return [DistancePiece(domain, poly) for domain, poly in pieces if feasible(domain)]
+
+    @staticmethod
+    def _group_by_domain(
+        contributions: List[Tuple[ConstraintSystem, QPoly]],
+    ) -> List[Tuple[ConstraintSystem, QPoly]]:
+        """Merge contributions with syntactically identical domains."""
+        merged: Dict[frozenset, Tuple[ConstraintSystem, QPoly]] = {}
+        for domain, polynomial in contributions:
+            key = frozenset(_constraint_keys(domain))
+            if key in merged:
+                existing_domain, existing_poly = merged[key]
+                merged[key] = (existing_domain, existing_poly + polynomial)
+            else:
+                merged[key] = (domain, polynomial)
+        return list(merged.values())
+
+
+def _constraint_key(constraint) -> Tuple:
+    return (constraint.kind, constraint.expr._canonical_items())
+
+
+def _constraint_keys(system: ConstraintSystem) -> set:
+    return {_constraint_key(c) for c in system.constraints}

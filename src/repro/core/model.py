@@ -1,0 +1,236 @@
+"""HayStack: the analytical cache model (public entry point).
+
+:class:`CacheModel` ties the pipeline together:
+
+1. symbolic backward stack distances for every access
+   (:mod:`repro.core.distance`),
+2. compulsory misses = first touches of a cache line
+   (:mod:`repro.core.prevmap`),
+3. capacity misses = accesses whose stack distance exceeds the cache
+   capacity, counted per hierarchy level with Algorithm 1
+   (:mod:`repro.core.capacity`).
+
+Stack distances are computed once and re-used for every cache level, exactly
+like the paper (Section 4.3, Figure 13).  If the symbolic pipeline cannot
+handle a program exactly, the model optionally falls back to the trace-based
+reference computation and flags the result, so callers always receive exact
+miss counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..isl.counting import CountingError, cardinality
+from ..scop.scop import Scop
+from .capacity import CapacityCounter, CounterOptions
+from .config import MachineModel
+from .distance import AccessDistances, StackDistanceAnalysis
+from .prevmap import ModelFallbackRequired
+from .results import AccessMissCounts, LevelMissCounts, ModelResult, TimingBreakdown
+
+__all__ = ["CacheModel", "ModelOptions", "analyze_kernel"]
+
+
+@dataclass
+class ModelOptions:
+    """Behavioural switches of the analytical model."""
+
+    equalization: bool = True
+    rasterization: bool = True
+    partial_enumeration: bool = True
+    #: Fall back to trace-based computation when the symbolic pipeline cannot
+    #: handle the program exactly (keeps results exact; sets ``used_fallback``).
+    fallback_to_simulation: bool = True
+    #: Cross-check the symbolic result against the trace-based reference
+    #: (test-suite use only; requires enumerating the trace).
+    cross_check: bool = False
+
+    def counter_options(self) -> CounterOptions:
+        return CounterOptions(
+            equalization=self.equalization,
+            rasterization=self.rasterization,
+            partial_enumeration=self.partial_enumeration,
+        )
+
+
+class CacheModel:
+    """Fully associative LRU cache model for static control programs."""
+
+    def __init__(self, machine: Optional[MachineModel] = None, options: Optional[ModelOptions] = None) -> None:
+        self.machine = machine or MachineModel()
+        self.options = options or ModelOptions()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def analyze(self, scop: Scop) -> ModelResult:
+        """Compute compulsory and capacity misses for every cache level."""
+        try:
+            result = self._analyze_symbolic(scop)
+        except ModelFallbackRequired:
+            if not self.options.fallback_to_simulation:
+                raise
+            result = self._analyze_by_trace(scop, used_fallback=True)
+        if self.options.cross_check:
+            self._cross_check(scop, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Symbolic pipeline
+    # ------------------------------------------------------------------
+    def _analyze_symbolic(self, scop: Scop) -> ModelResult:
+        line_size = self.machine.line_size
+        analysis = StackDistanceAnalysis(scop, line_size=line_size)
+        distances = analysis.analyze()
+
+        capacity_start = time.perf_counter()
+        capacities = self.machine.capacities_in_lines()
+        labels = self.machine.level_labels()
+
+        per_access: List[AccessMissCounts] = []
+        piece_count = 0
+        nonaffine_pieces = 0
+        nonaffine_dims: List[int] = []
+        enumerated_points = 0
+        instance_counts: Dict[str, int] = {}
+
+        for access_distances in distances:
+            access = access_distances.access
+            statement = access.statement
+            if statement.name not in instance_counts:
+                instance_counts[statement.name] = statement.instance_count()
+            accesses = instance_counts[statement.name]
+
+            compulsory = 0
+            for domain in access_distances.first_touch_domains:
+                compulsory += self._domain_cardinality(domain, statement.loop_vars)
+
+            capacity_per_level: List[int] = []
+            counter = CapacityCounter(statement.loop_vars, self.options.counter_options())
+            for capacity_lines in capacities:
+                capacity_per_level.append(counter.count_misses(access_distances.pieces, capacity_lines))
+            piece_count += counter.stats.pieces_counted
+            nonaffine_pieces += counter.stats.nonaffine_pieces
+            nonaffine_dims.extend(counter.stats.nonaffine_affine_dims)
+            enumerated_points += counter.stats.enumerated_points
+
+            per_access.append(
+                AccessMissCounts(
+                    statement=statement.name,
+                    position=access.position,
+                    array=access.ref.array.name,
+                    is_write=access.ref.is_write,
+                    accesses=accesses,
+                    compulsory=compulsory,
+                    capacity=capacity_per_level,
+                )
+            )
+        capacity_seconds = time.perf_counter() - capacity_start
+
+        level_results = self._aggregate_levels(per_access, labels)
+        timing = TimingBreakdown(
+            stack_distance_seconds=analysis.elapsed_seconds,
+            capacity_seconds=capacity_seconds,
+        )
+        return ModelResult(
+            kernel=scop.name,
+            level_results=level_results,
+            per_access=per_access,
+            timing=timing,
+            piece_count=piece_count,
+            nonaffine_pieces=nonaffine_pieces,
+            nonaffine_affine_dims=nonaffine_dims,
+            enumerated_points=enumerated_points,
+            used_fallback=False,
+        )
+
+    def _aggregate_levels(self, per_access: Sequence[AccessMissCounts], labels: Sequence[str]) -> List[LevelMissCounts]:
+        levels: List[LevelMissCounts] = []
+        total_accesses = sum(entry.accesses for entry in per_access)
+        for index, label in enumerate(labels):
+            compulsory = sum(entry.compulsory for entry in per_access)
+            capacity = sum(entry.capacity[index] for entry in per_access)
+            levels.append(
+                LevelMissCounts(
+                    name=label,
+                    cache_size=self.machine.levels[index].size,
+                    accesses=total_accesses,
+                    compulsory=compulsory,
+                    capacity=capacity,
+                )
+            )
+        return levels
+
+    def _domain_cardinality(self, domain, loop_vars) -> int:
+        count_vars = [v for v in loop_vars if domain.involves(v)]
+        try:
+            return cardinality(domain, count_vars)
+        except CountingError as exc:
+            raise ModelFallbackRequired(f"cardinality of first-touch domain failed: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Trace-based fallback (exact, but cost proportional to the trace)
+    # ------------------------------------------------------------------
+    def _analyze_by_trace(self, scop: Scop, *, used_fallback: bool) -> ModelResult:
+        from ..simulator.lru import StackDistanceProfiler
+        from ..simulator.trace import TraceGenerator
+
+        start = time.perf_counter()
+        generator = TraceGenerator(scop, line_size=self.machine.line_size, padded=True)
+        trace = list(generator.line_trace())
+        distances = StackDistanceProfiler().profile(trace)
+        labels = self.machine.level_labels()
+        capacities = self.machine.capacities_in_lines()
+
+        level_results = []
+        compulsory_total = sum(1 for d in distances if d is None)
+        for index, label in enumerate(labels):
+            capacity_misses = sum(1 for d in distances if d is not None and d > capacities[index])
+            level_results.append(
+                LevelMissCounts(
+                    name=label,
+                    cache_size=self.machine.levels[index].size,
+                    accesses=len(trace),
+                    compulsory=compulsory_total,
+                    capacity=capacity_misses,
+                )
+            )
+        elapsed = time.perf_counter() - start
+        timing = TimingBreakdown(stack_distance_seconds=elapsed, capacity_seconds=0.0)
+        return ModelResult(
+            kernel=scop.name,
+            level_results=level_results,
+            per_access=[],
+            timing=timing,
+            used_fallback=used_fallback,
+        )
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _cross_check(self, scop: Scop, result: ModelResult) -> None:
+        reference = self._analyze_by_trace(scop, used_fallback=False)
+        for index in range(len(self.machine.levels)):
+            model_level = result.level(index)
+            reference_level = reference.level(index)
+            if (model_level.compulsory, model_level.capacity) != (
+                reference_level.compulsory,
+                reference_level.capacity,
+            ):
+                raise AssertionError(
+                    f"model disagrees with trace reference for {scop.name} at level {model_level.name}: "
+                    f"model=({model_level.compulsory}, {model_level.capacity}) "
+                    f"trace=({reference_level.compulsory}, {reference_level.capacity})"
+                )
+
+
+def analyze_kernel(
+    scop: Scop,
+    machine: Optional[MachineModel] = None,
+    options: Optional[ModelOptions] = None,
+) -> ModelResult:
+    """Convenience wrapper: analyse ``scop`` with the given machine model."""
+    return CacheModel(machine, options).analyze(scop)

@@ -1,0 +1,106 @@
+"""Access-reference helpers: schedule values, cache-line maps and renaming.
+
+The cache model reasons about *access instances*: a statement instance plus
+the position of one of its array references.  This module computes, for a
+given reference,
+
+* the global schedule value of the access (the statement's ``2d+1`` schedule
+  extended by the access position, paper Section 3.1 "multiple memory
+  accesses per statement"), and
+* the accessed **cache line** as a tuple of quasi-affine expressions: the
+  outer array indices stay unchanged while the innermost index is replaced by
+  ``floor(index * element_size / line_size)`` (paper Section 3.1 "cache lines
+  and multi-dimensional arrays").
+
+Joint constraint systems over two statements rename one side's loop
+variables with a prefix so that systems over (target, source) pairs are
+well-formed even when both sides are instances of the same statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..isl.constraints import ConstraintSystem
+from ..isl.qpoly import QPoly, floor_div
+from ..scop.scop import AccessRef, Scop, Statement
+
+__all__ = ["AccessInstance", "line_exprs", "rename_map", "renamed_vars"]
+
+
+def rename_map(statement: Statement, prefix: str) -> Dict[str, QPoly]:
+    """Substitution mapping every loop variable ``v`` to ``<prefix>v``."""
+    return {var: QPoly.variable(prefix + var) for var in statement.loop_vars}
+
+
+def renamed_vars(statement: Statement, prefix: str) -> List[str]:
+    return [prefix + var for var in statement.loop_vars]
+
+
+def line_exprs(ref: AccessRef, line_size: int) -> Tuple[QPoly, ...]:
+    """Cache-line coordinates accessed by ``ref``.
+
+    The first coordinate identifies the array (a unique integer id would do;
+    the model never mixes arrays because accesses to different arrays are
+    never related by the line-equality constraints).  The remaining
+    coordinates are the outer array indices followed by the cache-line index
+    within the innermost (padded) dimension.
+    """
+    element_size = ref.array.element_size
+    inner = ref.indices[-1] * element_size
+    line_index = floor_div(inner, line_size)
+    return tuple(ref.indices[:-1]) + (line_index,)
+
+
+@dataclass
+class AccessInstance:
+    """One array reference of a statement, with pipeline-friendly accessors."""
+
+    statement: Statement
+    position: int
+    ref: AccessRef
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.statement.name, self.position)
+
+    def domain(self, prefix: str = "") -> ConstraintSystem:
+        if not prefix:
+            return self.statement.domain.copy()
+        return self.statement.domain.substitute(rename_map(self.statement, prefix))
+
+    def loop_vars(self, prefix: str = "") -> List[str]:
+        if not prefix:
+            return list(self.statement.loop_vars)
+        return renamed_vars(self.statement, prefix)
+
+    def schedule_exprs(self, length: int, prefix: str = "") -> Tuple[QPoly, ...]:
+        """Global schedule value of this access, padded to ``length`` + 1.
+
+        The access position is appended as the final schedule dimension so
+        that the accesses of one statement instance are totally ordered in
+        program order.
+        """
+        exprs = list(self.statement.schedule_exprs(length))
+        exprs.append(QPoly.constant(self.position))
+        if prefix:
+            mapping = rename_map(self.statement, prefix)
+            exprs = [expr.substitute(mapping) for expr in exprs]
+        return tuple(exprs)
+
+    def line_exprs(self, line_size: int, prefix: str = "") -> Tuple[QPoly, ...]:
+        exprs = line_exprs(self.ref, line_size)
+        if prefix:
+            mapping = rename_map(self.statement, prefix)
+            exprs = tuple(expr.substitute(mapping) for expr in exprs)
+        return exprs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "write" if self.ref.is_write else "read"
+        return f"{self.statement.name}@{self.position}:{kind} {self.ref.array.name}"
+
+
+def all_access_instances(scop: Scop) -> List[AccessInstance]:
+    """Every access of the program as an :class:`AccessInstance`."""
+    return [AccessInstance(statement, position, ref) for statement, position, ref in scop.all_accesses()]

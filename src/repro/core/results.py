@@ -1,0 +1,145 @@
+"""Result containers of the analytical cache model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["AccessMissCounts", "LevelMissCounts", "ModelResult", "TimingBreakdown"]
+
+
+@dataclass
+class AccessMissCounts:
+    """Miss breakdown for one array reference of one statement."""
+
+    statement: str
+    position: int
+    array: str
+    is_write: bool
+    accesses: int
+    compulsory: int
+    #: Capacity misses per cache level (indexed like the machine levels).
+    capacity: List[int] = field(default_factory=list)
+
+    def misses(self, level: int) -> int:
+        return self.compulsory + self.capacity[level]
+
+    def hits(self, level: int) -> int:
+        return self.accesses - self.misses(level)
+
+
+@dataclass
+class LevelMissCounts:
+    """Aggregate miss counts of one cache level."""
+
+    name: str
+    cache_size: int
+    accesses: int
+    compulsory: int
+    capacity: int
+
+    @property
+    def misses(self) -> int:
+        return self.compulsory + self.capacity
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "name": self.name,
+            "cache_size": self.cache_size,
+            "accesses": self.accesses,
+            "compulsory": self.compulsory,
+            "capacity": self.capacity,
+            "misses": self.misses,
+            "hits": self.hits,
+        }
+
+
+@dataclass
+class TimingBreakdown:
+    """Wall-clock breakdown of the model phases (Figure 11)."""
+
+    stack_distance_seconds: float = 0.0
+    capacity_seconds: float = 0.0
+    other_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.stack_distance_seconds + self.capacity_seconds + self.other_seconds
+
+
+@dataclass
+class ModelResult:
+    """Full output of one analytical model run."""
+
+    kernel: str
+    level_results: List[LevelMissCounts]
+    per_access: List[AccessMissCounts]
+    timing: TimingBreakdown
+    #: Number of separately counted pieces (Figure 11/12 solid lines).
+    piece_count: int = 0
+    nonaffine_pieces: int = 0
+    #: Affine-dimension histogram of non-affine polynomials (Table 1).
+    nonaffine_affine_dims: List[int] = field(default_factory=list)
+    enumerated_points: int = 0
+    #: True when the symbolic pipeline had to fall back to trace-based
+    #: computation for this kernel.
+    used_fallback: bool = False
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        return self.level_results[0].accesses if self.level_results else 0
+
+    def level(self, index: int) -> LevelMissCounts:
+        return self.level_results[index]
+
+    def misses(self, level: int = 0) -> int:
+        return self.level_results[level].misses
+
+    def hits(self, level: int = 0) -> int:
+        return self.level_results[level].hits
+
+    def compulsory(self, level: int = 0) -> int:
+        return self.level_results[level].compulsory
+
+    def capacity(self, level: int = 0) -> int:
+        return self.level_results[level].capacity
+
+    def miss_ratio(self, level: int = 0) -> float:
+        return self.level_results[level].miss_ratio
+
+    def prediction_error(self, measured_misses: int, level: int = 0) -> float:
+        """Prediction error relative to the total number of accesses.
+
+        This is the error metric of Figures 9 and 10: the absolute difference
+        between predicted and measured misses divided by the total number of
+        memory accesses of the kernel.
+        """
+        if not self.accesses:
+            return 0.0
+        return abs(self.misses(level) - measured_misses) / self.accesses
+
+    def as_dict(self) -> Dict:
+        return {
+            "kernel": self.kernel,
+            "levels": [level.as_dict() for level in self.level_results],
+            "piece_count": self.piece_count,
+            "nonaffine_pieces": self.nonaffine_pieces,
+            "enumerated_points": self.enumerated_points,
+            "used_fallback": self.used_fallback,
+            "timing": {
+                "stack_distance_seconds": self.timing.stack_distance_seconds,
+                "capacity_seconds": self.timing.capacity_seconds,
+                "total_seconds": self.timing.total_seconds,
+            },
+        }

@@ -1,0 +1,6 @@
+"""Hardware-measurement surrogate (stand-in for PAPI on the test system)."""
+
+from .measurement import HardwareLevelConfig, HardwareSurrogate, MeasurementResult
+from .prefetcher import NextLinePrefetcher
+
+__all__ = ["HardwareLevelConfig", "HardwareSurrogate", "MeasurementResult", "NextLinePrefetcher"]

@@ -1,0 +1,653 @@
+"""Affine constraint systems over named integer variables.
+
+A :class:`Constraint` is a quasi-affine expression compared against zero
+(``expr == 0`` or ``expr >= 0``).  A :class:`ConstraintSystem` is a
+conjunction of constraints; unions of systems are represented as plain Python
+lists of systems by the higher layers.
+
+The module provides the operations the cache model pipeline needs:
+
+* normalisation to integer coefficients,
+* substitution,
+* rational Fourier-Motzkin elimination (with an exactness certificate for the
+  cases where the integer projection coincides with the rational one),
+* rational feasibility checks used to prune empty pieces,
+* bound extraction for a variable (used by symbolic counting and by the
+  parametric lexicographic optimisation), and
+* explicit enumeration of integer points (test oracle and partial-enumeration
+  fallback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .qpoly import Div, QPoly, floor_div
+
+__all__ = [
+    "Constraint",
+    "ConstraintSystem",
+    "NonExactProjectionError",
+    "UnboundedSetError",
+    "eq",
+    "ge",
+    "le",
+    "gt",
+    "lt",
+]
+
+
+class NonExactProjectionError(Exception):
+    """Raised when Fourier-Motzkin elimination cannot be certified exact."""
+
+
+class UnboundedSetError(Exception):
+    """Raised when a variable that must be bounded has no finite bound."""
+
+
+EQ = "eq"
+INEQ = "ineq"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``expr == 0`` (kind ``eq``) or ``expr >= 0`` (kind ``ineq``)."""
+
+    expr: QPoly
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in (EQ, INEQ):
+            raise ValueError(f"unknown constraint kind {self.kind!r}")
+        if not self.expr.is_affine():
+            raise ValueError(f"constraint expression must be (quasi-)affine: {self.expr}")
+
+    def substitute(self, assignment: Mapping[str, Union[QPoly, int, Fraction]]) -> "Constraint":
+        return Constraint(self.expr.substitute(assignment), self.kind)
+
+    def negate(self) -> List["Constraint"]:
+        """Return constraints describing the integer complement.
+
+        ``expr >= 0`` negates to ``-expr - 1 >= 0``.  ``expr == 0`` negates to
+        the *disjunction* ``expr >= 1 or -expr >= 1``; the two branches are
+        returned as a list and it is the caller's responsibility to build the
+        union.
+        """
+        if self.kind == INEQ:
+            return [Constraint(-self.expr - 1, INEQ)]
+        return [Constraint(self.expr - 1, INEQ), Constraint(-self.expr - 1, INEQ)]
+
+    def is_trivially_true(self) -> bool:
+        if not self.expr.is_constant():
+            return False
+        value = self.expr.constant_value()
+        return value == 0 if self.kind == EQ else value >= 0
+
+    def is_trivially_false(self) -> bool:
+        if not self.expr.is_constant():
+            return False
+        value = self.expr.constant_value()
+        return value != 0 if self.kind == EQ else value < 0
+
+    def normalized(self) -> "Constraint":
+        """Scale to coprime integer coefficients (and tighten inequalities).
+
+        For inequalities the constant term may be tightened to
+        ``floor(const / g)`` after dividing by the gcd ``g`` of the variable
+        coefficients, which is valid over the integers.
+        """
+        coeffs, const = self.expr.affine_coefficients()
+        if not coeffs:
+            return self
+        denominators = [c.denominator for c in coeffs.values()] + [const.denominator]
+        lcm = 1
+        for d in denominators:
+            lcm = lcm * d // _gcd(lcm, d)
+        scaled = {sym: c * lcm for sym, c in coeffs.items()}
+        scaled_const = const * lcm
+        gcd = 0
+        for c in scaled.values():
+            gcd = _gcd(gcd, abs(c.numerator))
+        if gcd > 1:
+            scaled = {sym: Fraction(c.numerator // gcd) for sym, c in scaled.items()}
+            if self.kind == INEQ:
+                scaled_const = Fraction(_floor_div_int(scaled_const.numerator, gcd * scaled_const.denominator))
+            else:
+                if scaled_const.numerator % gcd:
+                    # Equality with non-divisible constant: keep as is; the
+                    # system will be detected infeasible elsewhere.
+                    scaled = {sym: c * gcd for sym, c in scaled.items()}
+                else:
+                    scaled_const = scaled_const / gcd
+        expr = QPoly.from_affine(scaled, scaled_const)
+        return Constraint(expr, self.kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        op = "=" if self.kind == EQ else ">="
+        return f"{self.expr} {op} 0"
+
+
+def _gcd(a: int, b: int) -> int:
+    a, b = abs(a), abs(b)
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def _floor_div_int(numerator: int, denominator: int) -> int:
+    return numerator // denominator
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def _as_poly(value: Union[QPoly, int, Fraction, str]) -> QPoly:
+    if isinstance(value, QPoly):
+        return value
+    if isinstance(value, str):
+        return QPoly.variable(value)
+    return QPoly.constant(value)
+
+
+def ge(lhs, rhs) -> Constraint:
+    """Constraint ``lhs >= rhs``."""
+    return Constraint(_as_poly(lhs) - _as_poly(rhs), INEQ)
+
+
+def le(lhs, rhs) -> Constraint:
+    """Constraint ``lhs <= rhs``."""
+    return Constraint(_as_poly(rhs) - _as_poly(lhs), INEQ)
+
+
+def gt(lhs, rhs) -> Constraint:
+    """Strict integer constraint ``lhs > rhs`` i.e. ``lhs >= rhs + 1``."""
+    return Constraint(_as_poly(lhs) - _as_poly(rhs) - 1, INEQ)
+
+
+def lt(lhs, rhs) -> Constraint:
+    """Strict integer constraint ``lhs < rhs`` i.e. ``lhs <= rhs - 1``."""
+    return Constraint(_as_poly(rhs) - _as_poly(lhs) - 1, INEQ)
+
+
+def eq(lhs, rhs) -> Constraint:
+    """Constraint ``lhs == rhs``."""
+    return Constraint(_as_poly(lhs) - _as_poly(rhs), EQ)
+
+
+# ----------------------------------------------------------------------
+# Constraint systems
+# ----------------------------------------------------------------------
+class ConstraintSystem:
+    """A conjunction of quasi-affine constraints.
+
+    The system does not distinguish between set variables and parameters;
+    callers pass the relevant variable lists to the operations that need the
+    distinction (counting, lexicographic optimisation, enumeration).
+    """
+
+    __slots__ = ("constraints", "_keys", "_ineq_by_coeffs")
+
+    def __init__(self, constraints: Optional[Iterable[Constraint]] = None) -> None:
+        self.constraints: List[Constraint] = []
+        self._keys: set = set()
+        #: For inequalities: canonical coefficient vector -> index into
+        #: ``constraints``; used to keep only the tightest bound per direction.
+        self._ineq_by_coeffs: Dict[Tuple, int] = {}
+        if constraints:
+            for constraint in constraints:
+                self.add(constraint)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add(self, constraint: Constraint, *, pre_normalized: bool = False) -> None:
+        if constraint.is_trivially_true():
+            return
+        normalized = constraint if pre_normalized else constraint.normalized()
+        key = (normalized.kind, normalized.expr._canonical_items())
+        if key in self._keys:
+            return
+        if normalized.kind == INEQ and not normalized.is_trivially_false():
+            # Keep only the tightest inequality per coefficient direction:
+            # a.x + c1 >= 0 subsumes a.x + c2 >= 0 whenever c1 <= c2.
+            const = normalized.expr.constant_value()
+            coeff_key = tuple(
+                item for item in normalized.expr._canonical_items() if item[0] != ()
+            )
+            existing_index = self._ineq_by_coeffs.get(coeff_key)
+            if existing_index is not None:
+                existing = self.constraints[existing_index]
+                if existing.expr.constant_value() <= const:
+                    return
+                self.constraints[existing_index] = normalized
+                self._keys.add(key)
+                return
+            self._keys.add(key)
+            self._ineq_by_coeffs[coeff_key] = len(self.constraints)
+            self.constraints.append(normalized)
+            return
+        self._keys.add(key)
+        self.constraints.append(normalized)
+
+    def copy(self) -> "ConstraintSystem":
+        clone = ConstraintSystem()
+        clone.constraints = list(self.constraints)
+        clone._keys = set(self._keys)
+        clone._ineq_by_coeffs = dict(self._ineq_by_coeffs)
+        return clone
+
+    def conjoin(self, other: Union["ConstraintSystem", Iterable[Constraint]]) -> "ConstraintSystem":
+        clone = self.copy()
+        if isinstance(other, ConstraintSystem):
+            # Constraints stored in a system are already normalised.
+            for constraint in other.constraints:
+                clone.add(constraint, pre_normalized=True)
+        else:
+            for constraint in other:
+                clone.add(constraint)
+        return clone
+
+    def substitute(self, assignment: Mapping[str, Union[QPoly, int, Fraction]]) -> "ConstraintSystem":
+        return ConstraintSystem(c.substitute(assignment) for c in self.constraints)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def variables(self) -> set:
+        names: set = set()
+        for constraint in self.constraints:
+            names |= constraint.expr.free_variables()
+        return names
+
+    def has_trivially_false(self) -> bool:
+        return any(c.is_trivially_false() for c in self.constraints)
+
+    def involves(self, name: str) -> bool:
+        return any(c.expr.involves(name) for c in self.constraints)
+
+    def divs_involving(self, names: Sequence[str]) -> List[Div]:
+        """Divs whose argument mentions any of ``names`` (recursively)."""
+        name_set = set(names)
+        found: List[Div] = []
+        seen = set()
+        for constraint in self.constraints:
+            for div in constraint.expr.divs():
+                if div in seen:
+                    continue
+                seen.add(div)
+                if div.argument().free_variables() & name_set:
+                    found.append(div)
+        return found
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "{ " + " and ".join(repr(c) for c in self.constraints) + " }"
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    # ------------------------------------------------------------------
+    # Div expansion
+    # ------------------------------------------------------------------
+    def expand_divs(self, names: Sequence[str], prefix: str = "__q") -> Tuple["ConstraintSystem", List[str], Dict[str, Div]]:
+        """Replace divs involving ``names`` by fresh existential variables.
+
+        Returns the rewritten system, the list of fresh variable names (to be
+        treated as additional innermost variables) and the mapping back to the
+        original divs.  Divs that only involve other symbols (parameters) are
+        left untouched; they are constants of the sub-problem.
+        """
+        targets = self.divs_involving(names)
+        if not targets:
+            return self, [], {}
+        system = self
+        fresh: List[str] = []
+        mapping: Dict[str, Div] = {}
+        counter = 0
+        while targets:
+            div = targets[0]
+            var = f"{prefix}{counter}"
+            counter += 1
+            fresh.append(var)
+            mapping[var] = div
+            replacement = QPoly.variable(var)
+            rewritten = ConstraintSystem()
+            for constraint in system.constraints:
+                rewritten.add(Constraint(_replace_div(constraint.expr, div, replacement), constraint.kind))
+            argument = _replace_div_in_poly_arguments(div.argument(), mapping)
+            rewritten.add(ge(argument - QPoly.variable(var) * div.denominator, 0))
+            rewritten.add(le(argument - QPoly.variable(var) * div.denominator, div.denominator - 1))
+            system = rewritten
+            targets = system.divs_involving(list(names) + fresh)
+        return system, fresh, mapping
+
+
+def _replace_div(poly: QPoly, div: Div, replacement: QPoly) -> QPoly:
+    terms: Dict = {}
+    result = QPoly()
+    for monomial, coeff in poly.terms.items():
+        factor = QPoly.constant(coeff)
+        for sym, exp in monomial:
+            if sym == div:
+                base = replacement
+            elif isinstance(sym, Div):
+                base = QPoly.variable(sym)
+            else:
+                base = QPoly.variable(sym)
+            for _ in range(exp):
+                factor = factor * base
+        result = result + factor
+    return result
+
+
+def _replace_div_in_poly_arguments(poly: QPoly, mapping: Dict[str, Div]) -> QPoly:
+    # Arguments of previously expanded divs may nest; with the small
+    # denominators used by the cache model this is rare, so we keep the
+    # arguments as-is.  The defining constraints added by ``expand_divs``
+    # reference the argument polynomial directly.
+    return poly
+
+
+# ----------------------------------------------------------------------
+# Bounds
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Bound:
+    """A lower or upper bound on a variable.
+
+    For a lower bound the originating constraint is ``coeff * v >= expr`` and
+    the implied quasi-affine bound is ``v >= ceil(expr / coeff)``; for an
+    upper bound it is ``coeff * v <= expr`` implying ``v <= floor(expr / coeff)``.
+    ``coeff`` is always positive.
+    """
+
+    expr: QPoly
+    coeff: int
+    is_lower: bool
+
+    def value(self) -> QPoly:
+        if self.coeff == 1:
+            return self.expr
+        if self.is_lower:
+            return floor_div(self.expr + (self.coeff - 1), self.coeff)
+        return floor_div(self.expr, self.coeff)
+
+
+def bounds_for(system: ConstraintSystem, name: str) -> Tuple[List[Bound], List[Bound], List[Constraint]]:
+    """Split the system into lower bounds, upper bounds and the rest.
+
+    Equalities involving ``name`` contribute both a lower and an upper bound.
+    Constraints whose expression mentions ``name`` inside a div argument are
+    not supported here; callers must residue-split those first.
+    """
+    lowers: List[Bound] = []
+    uppers: List[Bound] = []
+    rest: List[Constraint] = []
+    for constraint in system.constraints:
+        expr = constraint.expr
+        if expr.degree_in_divs(name):
+            raise ValueError(f"variable {name} occurs inside a div argument; residue-split first")
+        coeff = expr.coefficient(name)
+        if not coeff:
+            rest.append(constraint)
+            continue
+        if coeff.denominator != 1:
+            raise ValueError("constraints must be normalised to integer coefficients")
+        a = coeff.numerator
+        remainder = expr - QPoly.variable(name) * coeff
+        if constraint.kind == EQ:
+            # a*v + r == 0  ->  v >= ceil(-r/a) and v <= floor(-r/a) (a > 0)
+            if a > 0:
+                lowers.append(Bound(-remainder, a, True))
+                uppers.append(Bound(-remainder, a, False))
+            else:
+                lowers.append(Bound(remainder, -a, True))
+                uppers.append(Bound(remainder, -a, False))
+        else:
+            if a > 0:
+                lowers.append(Bound(-remainder, a, True))
+            else:
+                uppers.append(Bound(remainder, -a, False))
+    return lowers, uppers, rest
+
+
+# ----------------------------------------------------------------------
+# Fourier-Motzkin elimination and feasibility
+# ----------------------------------------------------------------------
+def fm_eliminate(system: ConstraintSystem, name: str, *, require_exact: bool = False) -> ConstraintSystem:
+    """Eliminate ``name`` by Fourier-Motzkin.
+
+    The result is the rational shadow; it is certified to equal the integer
+    projection when every lower bound or every upper bound on ``name`` has a
+    unit coefficient (this is the classic exactness condition, satisfied by
+    all loop-bound style constraints).  ``require_exact=True`` raises
+    :class:`NonExactProjectionError` otherwise.
+    """
+    if not system.involves(name):
+        return system
+    expanded, fresh, _ = system.expand_divs([name])
+    if fresh:
+        # Divs involving the eliminated variable: eliminate the fresh
+        # existentials afterwards (they are innermost).
+        result = expanded
+        for aux in [name] + fresh:
+            result = fm_eliminate(result, aux, require_exact=require_exact)
+        return result
+    lowers, uppers, rest = bounds_for(system, name)
+    exact = all(b.coeff == 1 for b in lowers) or all(b.coeff == 1 for b in uppers)
+    if require_exact and not exact:
+        raise NonExactProjectionError(f"projection of {name} cannot be certified exact")
+    out = ConstraintSystem(rest)
+    for low in lowers:
+        for up in uppers:
+            # low.expr / low.coeff <= v <= up.expr / up.coeff
+            out.add(ge(up.expr * low.coeff - low.expr * up.coeff, 0))
+    return out
+
+
+def fm_project(system: ConstraintSystem, eliminate: Sequence[str], *, require_exact: bool = False) -> ConstraintSystem:
+    """Eliminate several variables (innermost last in ``eliminate`` first)."""
+    result = system
+    for name in reversed(list(eliminate)):
+        result = fm_eliminate(result, name, require_exact=require_exact)
+    return result
+
+
+def substitute_equalities(system: ConstraintSystem, names: Sequence[str]) -> Tuple[ConstraintSystem, Dict[str, QPoly]]:
+    """Use unit-coefficient equalities to substitute out variables in ``names``.
+
+    Returns the simplified system and the mapping of eliminated variables to
+    their defining expressions.  Only exact (coefficient +-1) substitutions
+    are performed.
+    """
+    assignment: Dict[str, QPoly] = {}
+    current = system
+    changed = True
+    remaining = set(names)
+    while changed and remaining:
+        changed = False
+        for constraint in current.constraints:
+            if constraint.kind != EQ:
+                continue
+            for name in list(remaining):
+                coeff = constraint.expr.coefficient(name)
+                if coeff in (1, -1) and not constraint.expr.degree_in_divs(name):
+                    rest = constraint.expr - QPoly.variable(name) * coeff
+                    value = rest * (-1) if coeff == 1 else rest
+                    replacement = {name: value}
+                    assignment = {k: v.substitute(replacement) for k, v in assignment.items()}
+                    assignment[name] = value
+                    current = current.substitute(replacement)
+                    remaining.discard(name)
+                    changed = True
+                    break
+            if changed:
+                break
+    return current, assignment
+
+
+_FEASIBILITY_CACHE: Dict[frozenset, bool] = {}
+
+
+def feasible_rational(system: ConstraintSystem, *, max_vars: int = 24) -> bool:
+    """Sound emptiness pruning: ``False`` means definitely integer-empty.
+
+    All free variables (including divs, which are expanded) are treated as
+    rational unknowns and eliminated by Fourier-Motzkin.  The test
+    over-approximates integer feasibility, which is the safe direction for
+    pruning pieces.  Results are memoised on the canonical constraint set.
+    """
+    if system.has_trivially_false():
+        return False
+    cache_key = frozenset((c.kind, c.expr._canonical_items()) for c in system.constraints)
+    cached = _FEASIBILITY_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    result = _feasible_rational_uncached(system, max_vars=max_vars)
+    if len(_FEASIBILITY_CACHE) < 200_000:
+        _FEASIBILITY_CACHE[cache_key] = result
+    return result
+
+
+def _feasible_rational_uncached(system: ConstraintSystem, *, max_vars: int = 24) -> bool:
+    names = sorted(n for n in system.variables())
+    expanded, fresh, _ = system.expand_divs(names)
+    all_names = list(expanded.variables())
+    if len(all_names) > max_vars:
+        return True
+    current = expanded
+    while all_names:
+        # Greedy minimum-degree ordering keeps the Fourier-Motzkin blow-up low.
+        occurrences = {
+            name: sum(1 for c in current.constraints if c.expr.coefficient(name)) for name in all_names
+        }
+        name = min(all_names, key=lambda n: (occurrences[n], n))
+        all_names.remove(name)
+        current = _fm_eliminate_rational(current, name)
+        if current.has_trivially_false():
+            return False
+        if len(current) > 600:
+            return True
+    return not current.has_trivially_false()
+
+
+def _fm_eliminate_rational(system: ConstraintSystem, name: str) -> ConstraintSystem:
+    lowers: List[Tuple[QPoly, int]] = []
+    uppers: List[Tuple[QPoly, int]] = []
+    rest: List[Constraint] = []
+    equalities: List[Tuple[QPoly, Fraction]] = []
+    for constraint in system.constraints:
+        expr = constraint.expr
+        coeff = expr.coefficient(name)
+        if not coeff or expr.degree_in_divs(name):
+            rest.append(constraint)
+            continue
+        remainder = expr - QPoly.variable(name) * coeff
+        if constraint.kind == EQ:
+            equalities.append((remainder, coeff))
+        elif coeff > 0:
+            lowers.append((-remainder, coeff.numerator))
+        else:
+            uppers.append((remainder, -coeff.numerator))
+    if equalities:
+        remainder, coeff = equalities[0]
+        value = remainder * (Fraction(-1) / coeff)
+        substitution = {name: value}
+        new_system = ConstraintSystem()
+        for constraint in system.constraints:
+            if constraint.expr.coefficient(name) == coeff and constraint.kind == EQ and constraint.expr - QPoly.variable(name) * coeff == remainder:
+                continue
+            new_system.add(constraint.substitute(substitution))
+        return new_system
+    out = ConstraintSystem(rest)
+    for low_expr, low_coeff in lowers:
+        for up_expr, up_coeff in uppers:
+            out.add(ge(up_expr * low_coeff - low_expr * up_coeff, 0))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Explicit enumeration
+# ----------------------------------------------------------------------
+def variable_range(system: ConstraintSystem, name: str, others: Sequence[str]) -> Tuple[int, int]:
+    """Integer range of ``name`` after rationally eliminating ``others``.
+
+    The range over-approximates the true projection; callers must re-check
+    constraints for each candidate point.  Raises :class:`UnboundedSetError`
+    if no finite bound exists.
+    """
+    expanded, fresh, _ = system.expand_divs(list(others) + [name])
+    current = expanded
+    for other in list(others) + fresh:
+        current = _fm_eliminate_rational(current, other)
+    lower: Optional[Fraction] = None
+    upper: Optional[Fraction] = None
+    for constraint in current.constraints:
+        coeff = constraint.expr.coefficient(name)
+        if not coeff:
+            continue
+        remainder = constraint.expr - QPoly.variable(name) * coeff
+        if not remainder.is_constant():
+            continue
+        value = -remainder.constant_value() / coeff
+        if constraint.kind == EQ:
+            lower = value if lower is None else max(lower, value)
+            upper = value if upper is None else min(upper, value)
+        elif coeff > 0:
+            lower = value if lower is None else max(lower, value)
+        else:
+            upper = value if upper is None else min(upper, value)
+    if lower is None or upper is None:
+        raise UnboundedSetError(f"variable {name} is not bounded")
+    import math
+
+    return math.ceil(lower), math.floor(upper)
+
+
+def enumerate_points(system: ConstraintSystem, names: Sequence[str]) -> Iterator[Dict[str, int]]:
+    """Enumerate all integer points of the projection onto ``names``.
+
+    The system may mention additional variables; those are treated as
+    existentially quantified and checked only rationally, which can produce
+    points outside the exact projection.  For the cache model this is used
+    either on systems without extra variables (exact) or as the
+    partial-enumeration driver, where spurious points only cost time (their
+    symbolic count is zero).
+    """
+    names = list(names)
+    yield from _enumerate_recursive(system, names, {})
+
+
+def _enumerate_recursive(system: ConstraintSystem, names: List[str], partial: Dict[str, int]) -> Iterator[Dict[str, int]]:
+    if not names:
+        if _check_point_rational(system):
+            yield dict(partial)
+        return
+    name = names[0]
+    rest = names[1:]
+    try:
+        low, high = variable_range(system, name, [n for n in system.variables() if n != name and isinstance(n, str)])
+    except UnboundedSetError:
+        raise
+    for value in range(low, high + 1):
+        substituted = system.substitute({name: value})
+        if substituted.has_trivially_false():
+            continue
+        if not feasible_rational(substituted):
+            continue
+        partial[name] = value
+        yield from _enumerate_recursive(substituted, rest, partial)
+        del partial[name]
+
+
+def _check_point_rational(system: ConstraintSystem) -> bool:
+    remaining = sorted(n for n in system.variables())
+    if not remaining:
+        return not system.has_trivially_false()
+    return feasible_rational(system)
+
+
+def count_points_explicit(system: ConstraintSystem, names: Sequence[str]) -> int:
+    """Count integer points of a fully-specified system by enumeration."""
+    return sum(1 for _ in enumerate_points(system, names))

@@ -1,0 +1,5 @@
+"""Experiment drivers and table rendering for the paper's evaluation."""
+
+from .tables import format_series, format_table, geometric_mean
+
+__all__ = ["format_series", "format_table", "geometric_mean"]

@@ -1,0 +1,14 @@
+"""Static control program representation, builder DSL and kernels."""
+
+from .builder import ArrayHandle, ScopBuilder, affine
+from .scop import AccessRef, Array, Scop, Statement
+
+__all__ = [
+    "AccessRef",
+    "Array",
+    "ArrayHandle",
+    "Scop",
+    "ScopBuilder",
+    "Statement",
+    "affine",
+]

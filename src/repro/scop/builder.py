@@ -1,0 +1,201 @@
+"""A small builder DSL for writing static control programs in Python.
+
+The builder mimics the structure of the original C loop nests so that the
+PolyBench kernels in :mod:`repro.scop.polybench` read almost like the
+reference sources::
+
+    b = ScopBuilder("gemm")
+    A = b.array("A", (NI, NK))
+    ...
+    with b.loop("i", 0, NI):
+        with b.loop("j", 0, NJ):
+            b.stmt(writes=[C[b.v("i"), b.v("j")]], reads=[C[b.v("i"), b.v("j")]])
+            with b.loop("k", 0, NK):
+                b.stmt(...)
+    scop = b.build()
+
+Loop bounds are half-open (``lower <= var < upper``) like the C originals and
+may be affine expressions of enclosing loop variables, which covers the
+triangular loops of cholesky, lu, trmm, etc.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from fractions import Fraction
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..isl.constraints import Constraint, ConstraintSystem, ge, le
+from ..isl.qpoly import QPoly
+from .scop import AccessRef, Array, Scop, Statement
+
+__all__ = ["ArrayHandle", "ScopBuilder", "affine"]
+
+
+ExprLike = Union[QPoly, int, str, Fraction]
+
+
+def affine(value: ExprLike) -> QPoly:
+    """Coerce ints, variable names and polynomials into a :class:`QPoly`."""
+    if isinstance(value, QPoly):
+        return value
+    if isinstance(value, str):
+        return QPoly.variable(value)
+    return QPoly.constant(value)
+
+
+class ArrayHandle:
+    """Array wrapper whose ``[...]`` operator produces access references."""
+
+    def __init__(self, array: Array) -> None:
+        self.array = array
+
+    def __getitem__(self, indices: Union[ExprLike, Tuple[ExprLike, ...]]) -> "PendingAccess":
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        exprs = tuple(affine(index) for index in indices)
+        return PendingAccess(self.array, exprs)
+
+    @property
+    def name(self) -> str:
+        return self.array.name
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.array.shape
+
+
+class PendingAccess:
+    """An array subscript not yet classified as read or write."""
+
+    def __init__(self, array: Array, indices: Tuple[QPoly, ...]) -> None:
+        self.array = array
+        self.indices = indices
+
+    def as_ref(self, is_write: bool) -> AccessRef:
+        return AccessRef(self.array, self.indices, is_write)
+
+
+class _LoopFrame:
+    def __init__(self, var: str, lower: QPoly, upper: QPoly) -> None:
+        self.var = var
+        self.lower = lower
+        self.upper = upper
+        #: Static schedule position counter for statements / sub-loops in the
+        #: loop body (the "2d+1" interleaving constants).
+        self.position = 0
+
+
+class ScopBuilder:
+    """Imperative builder producing a :class:`~repro.scop.scop.Scop`."""
+
+    def __init__(self, name: str, *, context: Optional[Dict[str, int]] = None, element_size: int = 8) -> None:
+        self._scop = Scop(name, context=context)
+        self._element_size = element_size
+        self._loop_stack: List[_LoopFrame] = []
+        self._top_position = 0
+        self._statement_counter = 0
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def array(self, name: str, shape: Sequence[int], *, element_size: Optional[int] = None) -> ArrayHandle:
+        array = Array(name, tuple(int(extent) for extent in shape), element_size or self._element_size)
+        self._scop.add_array(array)
+        return ArrayHandle(array)
+
+    def v(self, name: str) -> QPoly:
+        """The affine expression for loop variable ``name``."""
+        if all(frame.var != name for frame in self._loop_stack):
+            raise KeyError(f"loop variable {name!r} is not in scope")
+        return QPoly.variable(name)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @contextmanager
+    def loop(self, var: str, lower: ExprLike, upper: ExprLike, *, upper_inclusive: bool = False) -> Iterator[QPoly]:
+        """Open a loop ``for (var = lower; var < upper; ++var)``.
+
+        ``upper_inclusive=True`` switches to ``var <= upper`` which is
+        convenient for triangular bounds such as ``j <= i``.
+        """
+        if any(frame.var == var for frame in self._loop_stack):
+            raise ValueError(f"loop variable {var!r} already in scope")
+        lower_expr = affine(lower)
+        upper_expr = affine(upper) if upper_inclusive else affine(upper) - 1
+        frame = _LoopFrame(var, lower_expr, upper_expr)
+        self._loop_stack.append(frame)
+        try:
+            yield QPoly.variable(var)
+        finally:
+            popped = self._loop_stack.pop()
+            assert popped is frame
+            self._bump_position()
+
+    def _bump_position(self) -> None:
+        if self._loop_stack:
+            self._loop_stack[-1].position += 1
+        else:
+            self._top_position += 1
+
+    def _current_position(self) -> int:
+        if self._loop_stack:
+            return self._loop_stack[-1].position
+        return self._top_position
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def stmt(
+        self,
+        *,
+        reads: Sequence[PendingAccess] = (),
+        writes: Sequence[PendingAccess] = (),
+        name: Optional[str] = None,
+    ) -> Statement:
+        """Add a statement; accesses execute reads first, then writes.
+
+        This matches the paper's convention of counting array accesses "in the
+        order provided by the compiler front end" for a load/compute/store
+        statement body.
+        """
+        if name is None:
+            name = f"S{self._statement_counter}"
+        self._statement_counter += 1
+
+        loop_vars = tuple(frame.var for frame in self._loop_stack)
+        domain = ConstraintSystem()
+        for frame in self._loop_stack:
+            domain.add(ge(QPoly.variable(frame.var) - frame.lower, 0))
+            domain.add(le(QPoly.variable(frame.var) - frame.upper, 0))
+
+        schedule: List[Union[int, str]] = []
+        # Interleave: (top position, var_1, pos_1, var_2, pos_2, ..., var_d, stmt position)
+        schedule.append(self._outermost_position())
+        for depth, frame in enumerate(self._loop_stack):
+            schedule.append(frame.var)
+            if depth + 1 < len(self._loop_stack):
+                schedule.append(self._position_at_depth(depth))
+        schedule.append(self._current_position())
+
+        accesses = [ref.as_ref(False) for ref in reads] + [ref.as_ref(True) for ref in writes]
+        statement = Statement(name=name, loop_vars=loop_vars, domain=domain, schedule=tuple(schedule), accesses=accesses)
+        self._scop.add_statement(statement)
+        self._bump_position()
+        return statement
+
+    def _outermost_position(self) -> int:
+        return self._top_position
+
+    def _position_at_depth(self, depth: int) -> int:
+        # The static position *inside* loop `depth` is tracked by that frame.
+        return self._loop_stack[depth].position
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def build(self) -> Scop:
+        if self._loop_stack:
+            raise RuntimeError("cannot build a SCoP while loops are still open")
+        return self._scop

@@ -1,0 +1,105 @@
+"""The PolyBench 4.2.1 kernel suite expressed as static control programs.
+
+The registry maps kernel names (as used in the paper's figures) to builder
+functions; :func:`build_kernel` instantiates a kernel for one of the scaled
+dataset classes defined in :mod:`repro.scop.polybench.sizes`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..scop import Scop
+from . import datamining, linear_algebra, medley, solvers, stencils
+from .sizes import DATASETS, dataset_names, kernel_sizes
+
+__all__ = [
+    "KERNELS",
+    "EXPENSIVE_KERNELS",
+    "FAST_KERNELS",
+    "build_kernel",
+    "kernel_names",
+    "dataset_names",
+    "kernel_sizes",
+]
+
+#: Kernel registry: paper name -> builder(sizes) -> Scop.
+KERNELS: Dict[str, Callable[[Dict[str, int]], Scop]] = {
+    "2mm": linear_algebra.two_mm,
+    "3mm": linear_algebra.three_mm,
+    "adi": stencils.adi,
+    "atax": linear_algebra.atax,
+    "bicg": linear_algebra.bicg,
+    "cholesky": solvers.cholesky,
+    "correlation": datamining.correlation,
+    "covariance": datamining.covariance,
+    "deriche": medley.deriche,
+    "doitgen": linear_algebra.doitgen,
+    "durbin": solvers.durbin,
+    "fdtd-2d": stencils.fdtd_2d,
+    "floyd-warshall": medley.floyd_warshall,
+    "gemm": linear_algebra.gemm,
+    "gemver": linear_algebra.gemver,
+    "gesummv": linear_algebra.gesummv,
+    "gramschmidt": solvers.gramschmidt,
+    "heat-3d": stencils.heat_3d,
+    "jacobi-1d": stencils.jacobi_1d,
+    "jacobi-2d": stencils.jacobi_2d,
+    "lu": solvers.lu,
+    "ludcmp": solvers.ludcmp,
+    "mvt": linear_algebra.mvt,
+    "nussinov": medley.nussinov,
+    "seidel-2d": stencils.seidel_2d,
+    "symm": linear_algebra.symm,
+    "syr2k": linear_algebra.syr2k,
+    "syrk": linear_algebra.syrk,
+    "trisolv": solvers.trisolv,
+    "trmm": linear_algebra.trmm,
+}
+
+#: Kernels the paper identifies as cheap to analyse (Figure 11, left part).
+FAST_KERNELS: List[str] = [
+    "jacobi-1d",
+    "gemm",
+    "gesummv",
+    "bicg",
+    "atax",
+    "trmm",
+    "trisolv",
+    "syrk",
+    "2mm",
+    "mvt",
+]
+
+#: Kernels with non-affine stack distances / higher analysis cost
+#: (Figure 11, right part; Table 1).
+EXPENSIVE_KERNELS: List[str] = [
+    "cholesky",
+    "lu",
+    "ludcmp",
+    "nussinov",
+    "adi",
+    "heat-3d",
+    "floyd-warshall",
+    "correlation",
+    "covariance",
+    "deriche",
+]
+
+
+def kernel_names() -> List[str]:
+    return sorted(KERNELS)
+
+
+def build_kernel(name: str, dataset: str = "small", *, overrides: Optional[Dict[str, int]] = None) -> Scop:
+    """Build the named kernel for a dataset class (mini/small/medium/...).
+
+    ``overrides`` replaces individual size parameters, which the benchmarks
+    use for fine-grained problem-size sweeps (Figure 1).
+    """
+    if name not in KERNELS:
+        raise KeyError(f"unknown kernel {name!r}; available: {', '.join(kernel_names())}")
+    sizes = kernel_sizes(dataset, name)
+    if overrides:
+        sizes.update(overrides)
+    return KERNELS[name](sizes)

@@ -1,0 +1,76 @@
+"""PolyBench 4.2.1 data-mining kernels: correlation and covariance."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..builder import ScopBuilder
+from ..scop import Scop
+
+__all__ = ["correlation", "covariance"]
+
+
+def covariance(sizes: Dict[str, int]) -> Scop:
+    m, n = sizes["M"], sizes["N"]
+    b = ScopBuilder("covariance", context={"M": m, "N": n})
+    data = b.array("data", (n, m))
+    mean = b.array("mean", (m,))
+    cov = b.array("cov", (m, m))
+    with b.loop("j", 0, m):
+        b.stmt(writes=[mean[b.v("j")]])
+        with b.loop("i", 0, n):
+            b.stmt(reads=[data[b.v("i"), b.v("j")], mean[b.v("j")]], writes=[mean[b.v("j")]])
+        b.stmt(reads=[mean[b.v("j")]], writes=[mean[b.v("j")]])
+    with b.loop("i2", 0, n):
+        with b.loop("j2", 0, m):
+            b.stmt(reads=[data[b.v("i2"), b.v("j2")], mean[b.v("j2")]], writes=[data[b.v("i2"), b.v("j2")]])
+    with b.loop("i3", 0, m):
+        with b.loop("j3", b.v("i3"), m):
+            b.stmt(writes=[cov[b.v("i3"), b.v("j3")]])
+            with b.loop("k", 0, n):
+                b.stmt(
+                    reads=[data[b.v("k"), b.v("i3")], data[b.v("k"), b.v("j3")], cov[b.v("i3"), b.v("j3")]],
+                    writes=[cov[b.v("i3"), b.v("j3")]],
+                )
+            b.stmt(reads=[cov[b.v("i3"), b.v("j3")]], writes=[cov[b.v("i3"), b.v("j3")], cov[b.v("j3"), b.v("i3")]])
+    return b.build()
+
+
+def correlation(sizes: Dict[str, int]) -> Scop:
+    m, n = sizes["M"], sizes["N"]
+    b = ScopBuilder("correlation", context={"M": m, "N": n})
+    data = b.array("data", (n, m))
+    mean = b.array("mean", (m,))
+    stddev = b.array("stddev", (m,))
+    corr = b.array("corr", (m, m))
+    with b.loop("j", 0, m):
+        b.stmt(writes=[mean[b.v("j")]])
+        with b.loop("i", 0, n):
+            b.stmt(reads=[data[b.v("i"), b.v("j")], mean[b.v("j")]], writes=[mean[b.v("j")]])
+        b.stmt(reads=[mean[b.v("j")]], writes=[mean[b.v("j")]])
+    with b.loop("j2", 0, m):
+        b.stmt(writes=[stddev[b.v("j2")]])
+        with b.loop("i2", 0, n):
+            b.stmt(
+                reads=[data[b.v("i2"), b.v("j2")], mean[b.v("j2")], stddev[b.v("j2")]],
+                writes=[stddev[b.v("j2")]],
+            )
+        b.stmt(reads=[stddev[b.v("j2")]], writes=[stddev[b.v("j2")]])
+    with b.loop("i3", 0, n):
+        with b.loop("j3", 0, m):
+            b.stmt(
+                reads=[data[b.v("i3"), b.v("j3")], mean[b.v("j3")], stddev[b.v("j3")]],
+                writes=[data[b.v("i3"), b.v("j3")]],
+            )
+    with b.loop("i4", 0, m - 1):
+        b.stmt(writes=[corr[b.v("i4"), b.v("i4")]])
+        with b.loop("j4", b.v("i4") + 1, m):
+            b.stmt(writes=[corr[b.v("i4"), b.v("j4")]])
+            with b.loop("k", 0, n):
+                b.stmt(
+                    reads=[data[b.v("k"), b.v("i4")], data[b.v("k"), b.v("j4")], corr[b.v("i4"), b.v("j4")]],
+                    writes=[corr[b.v("i4"), b.v("j4")]],
+                )
+            b.stmt(reads=[corr[b.v("i4"), b.v("j4")]], writes=[corr[b.v("j4"), b.v("i4")]])
+    b.stmt(writes=[corr[m - 1, m - 1]])
+    return b.build()

@@ -1,0 +1,349 @@
+"""PolyBench 4.2.1 linear-algebra kernels (BLAS routines and kernels).
+
+Each function builds the static control program of the corresponding
+PolyBench kernel: the loop structure, statement schedules and array accesses
+mirror the reference C sources.  Scalar temporaries (``alpha``, ``beta``,
+``temp2``...) are assumed to live in registers and therefore produce no memory
+accesses, exactly like the paper's model (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..builder import ScopBuilder
+from ..scop import Scop
+
+__all__ = [
+    "gemm",
+    "gemver",
+    "gesummv",
+    "symm",
+    "syr2k",
+    "syrk",
+    "trmm",
+    "two_mm",
+    "three_mm",
+    "atax",
+    "bicg",
+    "doitgen",
+    "mvt",
+]
+
+
+def gemm(sizes: Dict[str, int]) -> Scop:
+    """C = alpha*A*B + beta*C."""
+    ni, nj, nk = sizes["NI"], sizes["NJ"], sizes["NK"]
+    b = ScopBuilder("gemm", context={"NI": ni, "NJ": nj, "NK": nk})
+    C = b.array("C", (ni, nj))
+    A = b.array("A", (ni, nk))
+    B = b.array("B", (nk, nj))
+    with b.loop("i", 0, ni):
+        with b.loop("j", 0, nj):
+            b.stmt(reads=[C[b.v("i"), b.v("j")]], writes=[C[b.v("i"), b.v("j")]])
+        with b.loop("k", 0, nk):
+            with b.loop("j", 0, nj):
+                b.stmt(
+                    reads=[A[b.v("i"), b.v("k")], B[b.v("k"), b.v("j")], C[b.v("i"), b.v("j")]],
+                    writes=[C[b.v("i"), b.v("j")]],
+                )
+    return b.build()
+
+
+def gemver(sizes: Dict[str, int]) -> Scop:
+    """Multiple matrix-vector products and rank-1 updates."""
+    n = sizes["N"]
+    b = ScopBuilder("gemver", context={"N": n})
+    A = b.array("A", (n, n))
+    u1 = b.array("u1", (n,))
+    v1 = b.array("v1", (n,))
+    u2 = b.array("u2", (n,))
+    v2 = b.array("v2", (n,))
+    x = b.array("x", (n,))
+    y = b.array("y", (n,))
+    z = b.array("z", (n,))
+    w = b.array("w", (n,))
+    with b.loop("i", 0, n):
+        with b.loop("j", 0, n):
+            b.stmt(
+                reads=[A[b.v("i"), b.v("j")], u1[b.v("i")], v1[b.v("j")], u2[b.v("i")], v2[b.v("j")]],
+                writes=[A[b.v("i"), b.v("j")]],
+            )
+    with b.loop("i2", 0, n):
+        with b.loop("j2", 0, n):
+            b.stmt(
+                reads=[x[b.v("i2")], A[b.v("j2"), b.v("i2")], y[b.v("j2")]],
+                writes=[x[b.v("i2")]],
+            )
+    with b.loop("i3", 0, n):
+        b.stmt(reads=[x[b.v("i3")], z[b.v("i3")]], writes=[x[b.v("i3")]])
+    with b.loop("i4", 0, n):
+        with b.loop("j4", 0, n):
+            b.stmt(
+                reads=[w[b.v("i4")], A[b.v("i4"), b.v("j4")], x[b.v("j4")]],
+                writes=[w[b.v("i4")]],
+            )
+    return b.build()
+
+
+def gesummv(sizes: Dict[str, int]) -> Scop:
+    """y = alpha*A*x + beta*B*x."""
+    n = sizes["N"]
+    b = ScopBuilder("gesummv", context={"N": n})
+    A = b.array("A", (n, n))
+    B = b.array("B", (n, n))
+    tmp = b.array("tmp", (n,))
+    x = b.array("x", (n,))
+    y = b.array("y", (n,))
+    with b.loop("i", 0, n):
+        b.stmt(writes=[tmp[b.v("i")], y[b.v("i")]])
+        with b.loop("j", 0, n):
+            b.stmt(
+                reads=[A[b.v("i"), b.v("j")], x[b.v("j")], tmp[b.v("i")], B[b.v("i"), b.v("j")], y[b.v("i")]],
+                writes=[tmp[b.v("i")], y[b.v("i")]],
+            )
+        b.stmt(reads=[tmp[b.v("i")], y[b.v("i")]], writes=[y[b.v("i")]])
+    return b.build()
+
+
+def symm(sizes: Dict[str, int]) -> Scop:
+    """Symmetric matrix multiply C = alpha*A*B + beta*C (A symmetric)."""
+    m, n = sizes["M"], sizes["N"]
+    b = ScopBuilder("symm", context={"M": m, "N": n})
+    C = b.array("C", (m, n))
+    A = b.array("A", (m, m))
+    B = b.array("B", (m, n))
+    with b.loop("i", 0, m):
+        with b.loop("j", 0, n):
+            with b.loop("k", 0, b.v("i")):
+                b.stmt(
+                    reads=[C[b.v("k"), b.v("j")], B[b.v("i"), b.v("j")], A[b.v("i"), b.v("k")], B[b.v("k"), b.v("j")]],
+                    writes=[C[b.v("k"), b.v("j")]],
+                )
+            b.stmt(
+                reads=[C[b.v("i"), b.v("j")], B[b.v("i"), b.v("j")], A[b.v("i"), b.v("i")]],
+                writes=[C[b.v("i"), b.v("j")]],
+            )
+    return b.build()
+
+
+def syrk(sizes: Dict[str, int]) -> Scop:
+    """Symmetric rank-k update C = alpha*A*A^T + beta*C (lower triangle)."""
+    n, m = sizes["N"], sizes["M"]
+    b = ScopBuilder("syrk", context={"N": n, "M": m})
+    C = b.array("C", (n, n))
+    A = b.array("A", (n, m))
+    with b.loop("i", 0, n):
+        with b.loop("j", 0, b.v("i"), upper_inclusive=True):
+            b.stmt(reads=[C[b.v("i"), b.v("j")]], writes=[C[b.v("i"), b.v("j")]])
+        with b.loop("k", 0, m):
+            with b.loop("j2", 0, b.v("i"), upper_inclusive=True):
+                b.stmt(
+                    reads=[A[b.v("i"), b.v("k")], A[b.v("j2"), b.v("k")], C[b.v("i"), b.v("j2")]],
+                    writes=[C[b.v("i"), b.v("j2")]],
+                )
+    return b.build()
+
+
+def syr2k(sizes: Dict[str, int]) -> Scop:
+    """Symmetric rank-2k update C = alpha*(A*B^T + B*A^T) + beta*C."""
+    n, m = sizes["N"], sizes["M"]
+    b = ScopBuilder("syr2k", context={"N": n, "M": m})
+    C = b.array("C", (n, n))
+    A = b.array("A", (n, m))
+    B = b.array("B", (n, m))
+    with b.loop("i", 0, n):
+        with b.loop("j", 0, b.v("i"), upper_inclusive=True):
+            b.stmt(reads=[C[b.v("i"), b.v("j")]], writes=[C[b.v("i"), b.v("j")]])
+        with b.loop("k", 0, m):
+            with b.loop("j2", 0, b.v("i"), upper_inclusive=True):
+                b.stmt(
+                    reads=[
+                        A[b.v("j2"), b.v("k")],
+                        B[b.v("i"), b.v("k")],
+                        B[b.v("j2"), b.v("k")],
+                        A[b.v("i"), b.v("k")],
+                        C[b.v("i"), b.v("j2")],
+                    ],
+                    writes=[C[b.v("i"), b.v("j2")]],
+                )
+    return b.build()
+
+
+def trmm(sizes: Dict[str, int]) -> Scop:
+    """Triangular matrix multiply B = alpha*A^T*B."""
+    m, n = sizes["M"], sizes["N"]
+    b = ScopBuilder("trmm", context={"M": m, "N": n})
+    A = b.array("A", (m, m))
+    B = b.array("B", (m, n))
+    with b.loop("i", 0, m):
+        with b.loop("j", 0, n):
+            with b.loop("k", b.v("i") + 1, m):
+                b.stmt(
+                    reads=[A[b.v("k"), b.v("i")], B[b.v("k"), b.v("j")], B[b.v("i"), b.v("j")]],
+                    writes=[B[b.v("i"), b.v("j")]],
+                )
+            b.stmt(reads=[B[b.v("i"), b.v("j")]], writes=[B[b.v("i"), b.v("j")]])
+    return b.build()
+
+
+def two_mm(sizes: Dict[str, int]) -> Scop:
+    """2mm: D = alpha*A*B*C + beta*D."""
+    ni, nj, nk, nl = sizes["NI"], sizes["NJ"], sizes["NK"], sizes["NL"]
+    b = ScopBuilder("2mm", context={"NI": ni, "NJ": nj, "NK": nk, "NL": nl})
+    tmp = b.array("tmp", (ni, nj))
+    A = b.array("A", (ni, nk))
+    B = b.array("B", (nk, nj))
+    C = b.array("C", (nj, nl))
+    D = b.array("D", (ni, nl))
+    with b.loop("i", 0, ni):
+        with b.loop("j", 0, nj):
+            b.stmt(writes=[tmp[b.v("i"), b.v("j")]])
+            with b.loop("k", 0, nk):
+                b.stmt(
+                    reads=[A[b.v("i"), b.v("k")], B[b.v("k"), b.v("j")], tmp[b.v("i"), b.v("j")]],
+                    writes=[tmp[b.v("i"), b.v("j")]],
+                )
+    with b.loop("i2", 0, ni):
+        with b.loop("j2", 0, nl):
+            b.stmt(reads=[D[b.v("i2"), b.v("j2")]], writes=[D[b.v("i2"), b.v("j2")]])
+            with b.loop("k2", 0, nj):
+                b.stmt(
+                    reads=[tmp[b.v("i2"), b.v("k2")], C[b.v("k2"), b.v("j2")], D[b.v("i2"), b.v("j2")]],
+                    writes=[D[b.v("i2"), b.v("j2")]],
+                )
+    return b.build()
+
+
+def three_mm(sizes: Dict[str, int]) -> Scop:
+    """3mm: G = (A*B) * (C*D)."""
+    ni, nj, nk = sizes["NI"], sizes["NJ"], sizes["NK"]
+    nl, nm = sizes["NL"], sizes["NM"]
+    b = ScopBuilder("3mm", context={"NI": ni, "NJ": nj, "NK": nk, "NL": nl, "NM": nm})
+    E = b.array("E", (ni, nj))
+    A = b.array("A", (ni, nk))
+    B = b.array("B", (nk, nj))
+    F = b.array("F", (nj, nl))
+    C = b.array("C", (nj, nm))
+    D = b.array("D", (nm, nl))
+    G = b.array("G", (ni, nl))
+    with b.loop("i", 0, ni):
+        with b.loop("j", 0, nj):
+            b.stmt(writes=[E[b.v("i"), b.v("j")]])
+            with b.loop("k", 0, nk):
+                b.stmt(
+                    reads=[A[b.v("i"), b.v("k")], B[b.v("k"), b.v("j")], E[b.v("i"), b.v("j")]],
+                    writes=[E[b.v("i"), b.v("j")]],
+                )
+    with b.loop("i2", 0, nj):
+        with b.loop("j2", 0, nl):
+            b.stmt(writes=[F[b.v("i2"), b.v("j2")]])
+            with b.loop("k2", 0, nm):
+                b.stmt(
+                    reads=[C[b.v("i2"), b.v("k2")], D[b.v("k2"), b.v("j2")], F[b.v("i2"), b.v("j2")]],
+                    writes=[F[b.v("i2"), b.v("j2")]],
+                )
+    with b.loop("i3", 0, ni):
+        with b.loop("j3", 0, nl):
+            b.stmt(writes=[G[b.v("i3"), b.v("j3")]])
+            with b.loop("k3", 0, nj):
+                b.stmt(
+                    reads=[E[b.v("i3"), b.v("k3")], F[b.v("k3"), b.v("j3")], G[b.v("i3"), b.v("j3")]],
+                    writes=[G[b.v("i3"), b.v("j3")]],
+                )
+    return b.build()
+
+
+def atax(sizes: Dict[str, int]) -> Scop:
+    """y = A^T * (A*x)."""
+    m, n = sizes["M"], sizes["N"]
+    b = ScopBuilder("atax", context={"M": m, "N": n})
+    A = b.array("A", (m, n))
+    x = b.array("x", (n,))
+    y = b.array("y", (n,))
+    tmp = b.array("tmp", (m,))
+    with b.loop("i0", 0, n):
+        b.stmt(writes=[y[b.v("i0")]])
+    with b.loop("i", 0, m):
+        b.stmt(writes=[tmp[b.v("i")]])
+        with b.loop("j", 0, n):
+            b.stmt(
+                reads=[A[b.v("i"), b.v("j")], x[b.v("j")], tmp[b.v("i")]],
+                writes=[tmp[b.v("i")]],
+            )
+        with b.loop("j2", 0, n):
+            b.stmt(
+                reads=[y[b.v("j2")], A[b.v("i"), b.v("j2")], tmp[b.v("i")]],
+                writes=[y[b.v("j2")]],
+            )
+    return b.build()
+
+
+def bicg(sizes: Dict[str, int]) -> Scop:
+    """BiCG sub-kernel: s = A^T*r, q = A*p."""
+    m, n = sizes["M"], sizes["N"]
+    b = ScopBuilder("bicg", context={"M": m, "N": n})
+    A = b.array("A", (n, m))
+    s = b.array("s", (m,))
+    q = b.array("q", (n,))
+    p = b.array("p", (m,))
+    r = b.array("r", (n,))
+    with b.loop("i0", 0, m):
+        b.stmt(writes=[s[b.v("i0")]])
+    with b.loop("i", 0, n):
+        b.stmt(writes=[q[b.v("i")]])
+        with b.loop("j", 0, m):
+            b.stmt(
+                reads=[s[b.v("j")], r[b.v("i")], A[b.v("i"), b.v("j")]],
+                writes=[s[b.v("j")]],
+            )
+            b.stmt(
+                reads=[q[b.v("i")], A[b.v("i"), b.v("j")], p[b.v("j")]],
+                writes=[q[b.v("i")]],
+            )
+    return b.build()
+
+
+def doitgen(sizes: Dict[str, int]) -> Scop:
+    """Multi-resolution analysis kernel."""
+    nr, nq, np_ = sizes["NR"], sizes["NQ"], sizes["NP"]
+    b = ScopBuilder("doitgen", context={"NR": nr, "NQ": nq, "NP": np_})
+    A = b.array("A", (nr, nq, np_))
+    C4 = b.array("C4", (np_, np_))
+    sum_ = b.array("sum", (np_,))
+    with b.loop("r", 0, nr):
+        with b.loop("q", 0, nq):
+            with b.loop("p", 0, np_):
+                b.stmt(writes=[sum_[b.v("p")]])
+                with b.loop("s", 0, np_):
+                    b.stmt(
+                        reads=[A[b.v("r"), b.v("q"), b.v("s")], C4[b.v("s"), b.v("p")], sum_[b.v("p")]],
+                        writes=[sum_[b.v("p")]],
+                    )
+            with b.loop("p2", 0, np_):
+                b.stmt(reads=[sum_[b.v("p2")]], writes=[A[b.v("r"), b.v("q"), b.v("p2")]])
+    return b.build()
+
+
+def mvt(sizes: Dict[str, int]) -> Scop:
+    """x1 = x1 + A*y1; x2 = x2 + A^T*y2."""
+    n = sizes["N"]
+    b = ScopBuilder("mvt", context={"N": n})
+    A = b.array("A", (n, n))
+    x1 = b.array("x1", (n,))
+    x2 = b.array("x2", (n,))
+    y1 = b.array("y1", (n,))
+    y2 = b.array("y2", (n,))
+    with b.loop("i", 0, n):
+        with b.loop("j", 0, n):
+            b.stmt(
+                reads=[x1[b.v("i")], A[b.v("i"), b.v("j")], y1[b.v("j")]],
+                writes=[x1[b.v("i")]],
+            )
+    with b.loop("i2", 0, n):
+        with b.loop("j2", 0, n):
+            b.stmt(
+                reads=[x2[b.v("i2")], A[b.v("j2"), b.v("i2")], y2[b.v("j2")]],
+                writes=[x2[b.v("i2")]],
+            )
+    return b.build()

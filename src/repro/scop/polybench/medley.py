@@ -1,0 +1,95 @@
+"""PolyBench 4.2.1 "medley" kernels: deriche, floyd-warshall, nussinov.
+
+Reversed loops of the original sources (``for (i = N-1; i >= 0; i--)``) are
+normalised to increasing loops by substituting the loop variable, which keeps
+the iteration domains affine without changing the access order semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..builder import ScopBuilder
+from ..scop import Scop
+
+__all__ = ["deriche", "floyd_warshall", "nussinov"]
+
+
+def floyd_warshall(sizes: Dict[str, int]) -> Scop:
+    n = sizes["N"]
+    b = ScopBuilder("floyd-warshall", context={"N": n})
+    path = b.array("path", (n, n))
+    with b.loop("k", 0, n):
+        with b.loop("i", 0, n):
+            with b.loop("j", 0, n):
+                b.stmt(
+                    reads=[path[b.v("i"), b.v("j")], path[b.v("i"), b.v("k")], path[b.v("k"), b.v("j")]],
+                    writes=[path[b.v("i"), b.v("j")]],
+                )
+    return b.build()
+
+
+def nussinov(sizes: Dict[str, int]) -> Scop:
+    """RNA secondary-structure prediction (dynamic programming).
+
+    The original iterates ``i`` from ``N-1`` down to ``0``; the builder loop
+    uses ``ii = N-1-i`` so all loops increase.
+    """
+    n = sizes["N"]
+    b = ScopBuilder("nussinov", context={"N": n})
+    table = b.array("table", (n, n))
+    seq = b.array("seq", (n,))
+    with b.loop("ii", 0, n):
+        # i = n - 1 - ii
+        with b.loop("j", n - b.v("ii"), n):
+            i = n - 1 - b.v("ii")
+            j = b.v("j")
+            b.stmt(reads=[table[i, j], table[i, j - 1]], writes=[table[i, j]])
+            b.stmt(reads=[table[i, j], table[i + 1, j]], writes=[table[i, j]])
+            b.stmt(
+                reads=[table[i, j], table[i + 1, j - 1], seq[i], seq[j]],
+                writes=[table[i, j]],
+            )
+            with b.loop("k", i + 1, j):
+                b.stmt(
+                    reads=[table[i, j], table[i, b.v("k")], table[b.v("k") + 1, j]],
+                    writes=[table[i, j]],
+                )
+    return b.build()
+
+
+def deriche(sizes: Dict[str, int]) -> Scop:
+    """Deriche recursive edge-detection filter.
+
+    The horizontal and vertical passes run once forward and once backward
+    over the image; backward passes are normalised to increasing loops.
+    """
+    w, h = sizes["W"], sizes["H"]
+    b = ScopBuilder("deriche", context={"W": w, "H": h})
+    img_in = b.array("imgIn", (w, h))
+    img_out = b.array("imgOut", (w, h))
+    y1 = b.array("y1", (w, h))
+    y2 = b.array("y2", (w, h))
+    # Horizontal forward pass (scalar recurrences ym1/ym2/xm1 in registers).
+    with b.loop("i", 0, w):
+        with b.loop("j", 0, h):
+            b.stmt(reads=[img_in[b.v("i"), b.v("j")]], writes=[y1[b.v("i"), b.v("j")]])
+    # Horizontal backward pass: j runs h-1 .. 0, normalised via jj = h-1-j.
+    with b.loop("i2", 0, w):
+        with b.loop("jj", 0, h):
+            b.stmt(reads=[img_in[b.v("i2"), h - 1 - b.v("jj")]], writes=[y2[b.v("i2"), h - 1 - b.v("jj")]])
+    with b.loop("i3", 0, w):
+        with b.loop("j3", 0, h):
+            b.stmt(reads=[y1[b.v("i3"), b.v("j3")], y2[b.v("i3"), b.v("j3")]], writes=[img_out[b.v("i3"), b.v("j3")]])
+    # Vertical forward pass.
+    with b.loop("j4", 0, h):
+        with b.loop("i4", 0, w):
+            b.stmt(reads=[img_out[b.v("i4"), b.v("j4")]], writes=[y1[b.v("i4"), b.v("j4")]])
+    # Vertical backward pass: i runs w-1 .. 0.
+    with b.loop("j5", 0, h):
+        with b.loop("ii", 0, w):
+            b.stmt(reads=[img_out[w - 1 - b.v("ii"), b.v("j5")]], writes=[y2[w - 1 - b.v("ii"), b.v("j5")]])
+    with b.loop("i6", 0, w):
+        with b.loop("j6", 0, h):
+            b.stmt(reads=[y1[b.v("i6"), b.v("j6")], y2[b.v("i6"), b.v("j6")]], writes=[img_out[b.v("i6"), b.v("j6")]])
+    return b.build()

@@ -1,0 +1,158 @@
+"""PolyBench 4.2.1 linear-algebra solvers.
+
+cholesky, durbin, gramschmidt, lu, ludcmp and trisolv.  The triangular loop
+nests of these kernels are the main source of non-affine stack-distance
+polynomials in the paper's evaluation (Table 1, Figure 14).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..builder import ScopBuilder
+from ..scop import Scop
+
+__all__ = ["cholesky", "durbin", "gramschmidt", "lu", "ludcmp", "trisolv"]
+
+
+def cholesky(sizes: Dict[str, int]) -> Scop:
+    """In-place Cholesky decomposition of a symmetric positive-definite matrix."""
+    n = sizes["N"]
+    b = ScopBuilder("cholesky", context={"N": n})
+    A = b.array("A", (n, n))
+    with b.loop("i", 0, n):
+        with b.loop("j", 0, b.v("i")):
+            with b.loop("k", 0, b.v("j")):
+                b.stmt(
+                    reads=[A[b.v("i"), b.v("j")], A[b.v("i"), b.v("k")], A[b.v("j"), b.v("k")]],
+                    writes=[A[b.v("i"), b.v("j")]],
+                )
+            b.stmt(reads=[A[b.v("i"), b.v("j")], A[b.v("j"), b.v("j")]], writes=[A[b.v("i"), b.v("j")]])
+        with b.loop("k2", 0, b.v("i")):
+            b.stmt(
+                reads=[A[b.v("i"), b.v("i")], A[b.v("i"), b.v("k2")]],
+                writes=[A[b.v("i"), b.v("i")]],
+            )
+        b.stmt(reads=[A[b.v("i"), b.v("i")]], writes=[A[b.v("i"), b.v("i")]])
+    return b.build()
+
+
+def durbin(sizes: Dict[str, int]) -> Scop:
+    """Toeplitz system solver (Durbin's algorithm).
+
+    The scalar recurrences (alpha, beta, sum) stay in registers; the array
+    accesses to ``r``, ``y`` and ``z`` are modelled.
+    """
+    n = sizes["N"]
+    b = ScopBuilder("durbin", context={"N": n})
+    r = b.array("r", (n,))
+    y = b.array("y", (n,))
+    z = b.array("z", (n,))
+    b.stmt(reads=[r[0]], writes=[y[0]])
+    with b.loop("k", 1, n):
+        with b.loop("i", 0, b.v("k")):
+            b.stmt(reads=[r[b.v("k") - b.v("i") - 1], y[b.v("i")]])
+        b.stmt(reads=[r[b.v("k")]])
+        with b.loop("i2", 0, b.v("k")):
+            b.stmt(reads=[y[b.v("i2")], y[b.v("k") - b.v("i2") - 1]], writes=[z[b.v("i2")]])
+        with b.loop("i3", 0, b.v("k")):
+            b.stmt(reads=[z[b.v("i3")]], writes=[y[b.v("i3")]])
+        b.stmt(writes=[y[b.v("k")]])
+    return b.build()
+
+
+def gramschmidt(sizes: Dict[str, int]) -> Scop:
+    """Modified Gram-Schmidt QR decomposition."""
+    m, n = sizes["M"], sizes["N"]
+    b = ScopBuilder("gramschmidt", context={"M": m, "N": n})
+    A = b.array("A", (m, n))
+    R = b.array("R", (n, n))
+    Q = b.array("Q", (m, n))
+    with b.loop("k", 0, n):
+        with b.loop("i", 0, m):
+            b.stmt(reads=[A[b.v("i"), b.v("k")]])
+        b.stmt(writes=[R[b.v("k"), b.v("k")]])
+        with b.loop("i2", 0, m):
+            b.stmt(reads=[A[b.v("i2"), b.v("k")], R[b.v("k"), b.v("k")]], writes=[Q[b.v("i2"), b.v("k")]])
+        with b.loop("j", b.v("k") + 1, n):
+            b.stmt(writes=[R[b.v("k"), b.v("j")]])
+            with b.loop("i3", 0, m):
+                b.stmt(
+                    reads=[Q[b.v("i3"), b.v("k")], A[b.v("i3"), b.v("j")], R[b.v("k"), b.v("j")]],
+                    writes=[R[b.v("k"), b.v("j")]],
+                )
+            with b.loop("i4", 0, m):
+                b.stmt(
+                    reads=[A[b.v("i4"), b.v("j")], Q[b.v("i4"), b.v("k")], R[b.v("k"), b.v("j")]],
+                    writes=[A[b.v("i4"), b.v("j")]],
+                )
+    return b.build()
+
+
+def lu(sizes: Dict[str, int]) -> Scop:
+    """In-place LU decomposition without pivoting."""
+    n = sizes["N"]
+    b = ScopBuilder("lu", context={"N": n})
+    A = b.array("A", (n, n))
+    with b.loop("i", 0, n):
+        with b.loop("j", 0, b.v("i")):
+            with b.loop("k", 0, b.v("j")):
+                b.stmt(
+                    reads=[A[b.v("i"), b.v("j")], A[b.v("i"), b.v("k")], A[b.v("k"), b.v("j")]],
+                    writes=[A[b.v("i"), b.v("j")]],
+                )
+            b.stmt(reads=[A[b.v("i"), b.v("j")], A[b.v("j"), b.v("j")]], writes=[A[b.v("i"), b.v("j")]])
+        with b.loop("j2", b.v("i"), n):
+            with b.loop("k2", 0, b.v("i")):
+                b.stmt(
+                    reads=[A[b.v("i"), b.v("j2")], A[b.v("i"), b.v("k2")], A[b.v("k2"), b.v("j2")]],
+                    writes=[A[b.v("i"), b.v("j2")]],
+                )
+    return b.build()
+
+
+def ludcmp(sizes: Dict[str, int]) -> Scop:
+    """LU decomposition followed by forward and backward substitution."""
+    n = sizes["N"]
+    b = ScopBuilder("ludcmp", context={"N": n})
+    A = b.array("A", (n, n))
+    bvec = b.array("b", (n,))
+    x = b.array("x", (n,))
+    y = b.array("y", (n,))
+    with b.loop("i", 0, n):
+        with b.loop("j", 0, b.v("i")):
+            b.stmt(reads=[A[b.v("i"), b.v("j")]])
+            with b.loop("k", 0, b.v("j")):
+                b.stmt(reads=[A[b.v("i"), b.v("k")], A[b.v("k"), b.v("j")]])
+            b.stmt(reads=[A[b.v("j"), b.v("j")]], writes=[A[b.v("i"), b.v("j")]])
+        with b.loop("j2", b.v("i"), n):
+            b.stmt(reads=[A[b.v("i"), b.v("j2")]])
+            with b.loop("k2", 0, b.v("i")):
+                b.stmt(reads=[A[b.v("i"), b.v("k2")], A[b.v("k2"), b.v("j2")]])
+            b.stmt(writes=[A[b.v("i"), b.v("j2")]])
+    with b.loop("i2", 0, n):
+        b.stmt(reads=[bvec[b.v("i2")]])
+        with b.loop("j3", 0, b.v("i2")):
+            b.stmt(reads=[A[b.v("i2"), b.v("j3")], y[b.v("j3")]])
+        b.stmt(writes=[y[b.v("i2")]])
+    with b.loop("i3", 0, n):
+        b.stmt(reads=[y[n - 1 - b.v("i3")]])
+        with b.loop("j4", n - b.v("i3"), n):
+            b.stmt(reads=[A[n - 1 - b.v("i3"), b.v("j4")], x[b.v("j4")]])
+        b.stmt(reads=[A[n - 1 - b.v("i3"), n - 1 - b.v("i3")]], writes=[x[n - 1 - b.v("i3")]])
+    return b.build()
+
+
+def trisolv(sizes: Dict[str, int]) -> Scop:
+    """Triangular solver Lx = b."""
+    n = sizes["N"]
+    b = ScopBuilder("trisolv", context={"N": n})
+    L = b.array("L", (n, n))
+    x = b.array("x", (n,))
+    bvec = b.array("b", (n,))
+    with b.loop("i", 0, n):
+        b.stmt(reads=[bvec[b.v("i")]], writes=[x[b.v("i")]])
+        with b.loop("j", 0, b.v("i")):
+            b.stmt(reads=[x[b.v("i")], L[b.v("i"), b.v("j")], x[b.v("j")]], writes=[x[b.v("i")]])
+        b.stmt(reads=[x[b.v("i")], L[b.v("i"), b.v("i")]], writes=[x[b.v("i")]])
+    return b.build()

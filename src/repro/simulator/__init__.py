@@ -1,0 +1,24 @@
+"""Trace-driven cache simulation substrate (Dinero IV surrogate)."""
+
+from .dinero import DineroResult, DineroSimulator, simulate_scop
+from .hierarchy import CacheHierarchySimulator, CacheLevelConfig
+from .lru import CacheStatistics, FullyAssociativeLRU, StackDistanceProfiler, simulate_fully_associative
+from .set_assoc import ReplacementPolicy, SetAssociativeCache
+from .trace import ArrayLayout, MemoryAccess, TraceGenerator
+
+__all__ = [
+    "ArrayLayout",
+    "CacheHierarchySimulator",
+    "CacheLevelConfig",
+    "CacheStatistics",
+    "DineroResult",
+    "DineroSimulator",
+    "FullyAssociativeLRU",
+    "MemoryAccess",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "StackDistanceProfiler",
+    "TraceGenerator",
+    "simulate_fully_associative",
+    "simulate_scop",
+]

@@ -1,0 +1,24 @@
+"""Shared pytest configuration: the ``slow`` marker.
+
+Slow tests (line-granularity cross-validation on larger kernels) are skipped
+by default; run them with ``pytest --run-slow``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption("--run-slow", action="store_true", default=False, help="run slow tests")
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running cross-validation tests")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test; use --run-slow to enable")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -1,0 +1,87 @@
+"""Basic sanity tests for the symbolic counting engine."""
+
+from fractions import Fraction
+
+from repro.isl.constraints import ConstraintSystem, eq, ge, le
+from repro.isl.counting import cardinality, count_points, piecewise_total
+from repro.isl.qpoly import QPoly, floor_div, power_sum_poly
+
+
+def var(name):
+    return QPoly.variable(name)
+
+
+def test_power_sum_small():
+    n = 10
+    for k in range(5):
+        poly = power_sum_poly(k)
+        expected = sum(v ** k for v in range(1, n + 1))
+        assert poly.evaluate({"n": n}) == expected
+
+
+def test_power_sum_negative_telescope():
+    poly = power_sum_poly(2)
+    # F_k(U) - F_k(L-1) must equal the true sum for negative ranges too.
+    low, up = -5, 3
+    expected = sum(v ** 2 for v in range(low, up + 1))
+    value = poly.evaluate({"n": up}) - poly.evaluate({"n": low - 1})
+    assert value == expected
+
+
+def test_count_box():
+    cs = ConstraintSystem([ge("i", 0), le("i", 9), ge("j", 0), le("j", 4)])
+    assert cardinality(cs, ["i", "j"], cross_check=True) == 50
+
+
+def test_count_triangle():
+    # 0 <= j <= i <= 9 : 55 points
+    cs = ConstraintSystem([ge("i", 0), le("i", 9), ge("j", 0), le(var("j"), var("i"))])
+    assert cardinality(cs, ["i", "j"], cross_check=True) == 55
+
+
+def test_count_parametric_triangle():
+    # count_{j} { 0 <= j <= i } parametric in i
+    cs = ConstraintSystem([ge("j", 0), le(var("j"), var("i"))])
+    pieces = count_points(cs, ["j"])
+    total = QPoly()
+    for domain, poly in pieces:
+        # All pieces must be valid on i >= 0.
+        total = total + poly
+    assert total.evaluate({"i": 7}) == 8
+
+
+def test_count_with_equality_stride():
+    # { i : 0 <= i <= 20 and 2*i == x } has one point when x even in range.
+    cs = ConstraintSystem([ge("i", 0), le("i", 20), eq(var("i") * 2, var("x"))])
+    pieces = count_points(cs, ["i"])
+
+    def count_at(x):
+        total = Fraction(0)
+        for domain, poly in pieces:
+            if all(c.expr.evaluate({"x": x}) >= 0 if c.kind == "ineq" else c.expr.evaluate({"x": x}) == 0 for c in domain.constraints):
+                total += poly.evaluate({"x": x})
+        return total
+
+    assert count_at(10) == 1
+    assert count_at(11) == 0
+    assert count_at(41) == 0
+    assert count_at(40) == 1
+
+
+def test_count_with_div_constraint():
+    # { i : 0 <= i <= 31 and floor(i/8) == 2 } = {16..23}
+    cs = ConstraintSystem([ge("i", 0), le("i", 31), eq(floor_div(var("i"), 8), 2)])
+    assert cardinality(cs, ["i"], cross_check=True) == 8
+
+
+def test_cardinality_empty():
+    cs = ConstraintSystem([ge("i", 0), le("i", -1)])
+    assert cardinality(cs, ["i"], cross_check=True) == 0
+
+
+def test_triangle_3d():
+    # 0 <= k <= j <= i <= 7 : C(10,3)... actually number of triples = C(8+2,3) = 120
+    cs = ConstraintSystem(
+        [ge("i", 0), le("i", 7), ge("j", 0), le(var("j"), var("i")), ge("k", 0), le(var("k"), var("j"))]
+    )
+    assert cardinality(cs, ["i", "j", "k"], cross_check=True) == 120

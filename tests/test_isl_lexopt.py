@@ -1,0 +1,94 @@
+"""Tests for parametric lexicographic optimisation."""
+
+import pytest
+
+from repro.isl.constraints import ConstraintSystem, eq, ge, le
+from repro.isl.lexopt import evaluate_pieces, lexmax, lexmax_explicit, lexmin
+from repro.isl.qpoly import QPoly, floor_div
+
+
+def var(name):
+    return QPoly.variable(name)
+
+
+def test_lexmax_box():
+    cs = ConstraintSystem([ge("i", 0), le("i", 9), ge("j", 0), le("j", 4)])
+    pieces = lexmax(cs, ["i", "j"])
+    assert evaluate_pieces(pieces, 2, {}) == (9, 4)
+
+
+def test_lexmin_box():
+    cs = ConstraintSystem([ge("i", 2), le("i", 9), ge("j", 1), le("j", 4)])
+    pieces = lexmin(cs, ["i", "j"])
+    assert evaluate_pieces(pieces, 2, {}) == (2, 1)
+
+
+def test_lexmax_triangle_parametric():
+    # { j : 0 <= j <= i } parametric in i -> max j = i (only when i >= 0)
+    cs = ConstraintSystem([ge("j", 0), le(var("j"), var("i"))])
+    pieces = lexmax(cs, ["j"])
+    assert evaluate_pieces(pieces, 1, {"i": 7}) == (7,)
+    assert evaluate_pieces(pieces, 1, {"i": -3}) is None
+
+
+def test_lexmax_two_upper_bounds():
+    # { j : 0 <= j <= i and j <= n } -> max j = min(i, n)
+    cs = ConstraintSystem([ge("j", 0), le(var("j"), var("i")), le(var("j"), var("n"))])
+    pieces = lexmax(cs, ["j"])
+    assert evaluate_pieces(pieces, 1, {"i": 3, "n": 10}) == (3,)
+    assert evaluate_pieces(pieces, 1, {"i": 10, "n": 3}) == (3,)
+    assert evaluate_pieces(pieces, 1, {"i": 5, "n": 5}) == (5,)
+
+
+def test_lexmax_matches_bruteforce_on_triangles():
+    cs = ConstraintSystem(
+        [ge("i", 0), le(var("i"), var("n")), ge("j", 0), le(var("j"), var("i"))]
+    )
+    pieces = lexmax(cs, ["i", "j"])
+    for n in range(-1, 6):
+        expected = lexmax_explicit(cs, ["i", "j"], {"n": n})
+        assert evaluate_pieces(pieces, 2, {"n": n}) == expected
+
+
+def test_lexmax_with_equality():
+    # previous access pattern: { y : 0 <= y < 100, y == x - 1 }
+    cs = ConstraintSystem([ge("y", 0), le("y", 99), eq(var("y"), var("x") - 1)])
+    pieces = lexmax(cs, ["y"])
+    assert evaluate_pieces(pieces, 1, {"x": 5}) == (4,)
+    assert evaluate_pieces(pieces, 1, {"x": 0}) is None
+    assert evaluate_pieces(pieces, 1, {"x": 100}) == (99,)
+    assert evaluate_pieces(pieces, 1, {"x": 101}) is None
+
+
+def test_lexmax_cache_line_equality():
+    # { y : 0 <= y <= 99, y < x, floor(y/8) == floor(x/8) }
+    # i.e. the latest earlier access falling in the same cache line: y = x - 1
+    # as long as x is not the first element of its line.
+    cs = ConstraintSystem(
+        [
+            ge("y", 0),
+            le("y", 99),
+            le(var("y"), var("x") - 1),
+            eq(floor_div(var("y"), 8), floor_div(var("x"), 8)),
+        ]
+    )
+    pieces = lexmax(cs, ["y"])
+    assert evaluate_pieces(pieces, 1, {"x": 13}) == (12,)
+    assert evaluate_pieces(pieces, 1, {"x": 16}) is None  # first element of line 2
+    assert evaluate_pieces(pieces, 1, {"x": 17}) == (16,)
+
+
+def test_lexmax_contexts_disjoint():
+    cs = ConstraintSystem([ge("j", 0), le(var("j"), var("i")), le(var("j"), var("n"))])
+    pieces = lexmax(cs, ["j"])
+    for i in range(0, 6):
+        for n in range(0, 6):
+            covering = [
+                ctx
+                for ctx, _ in pieces
+                if all(
+                    (c.expr.evaluate({"i": i, "n": n}) == 0 if c.kind == "eq" else c.expr.evaluate({"i": i, "n": n}) >= 0)
+                    for c in ctx.constraints
+                )
+            ]
+            assert len(covering) == 1

@@ -1,0 +1,88 @@
+"""End-to-end test of the analytical model on the paper's running example."""
+
+import pytest
+
+from repro.core import CacheModel, MachineModel, ModelOptions
+from repro.core.prevmap import PrevMapBuilder
+from repro.core.refs import all_access_instances
+from repro.scop import ScopBuilder
+
+
+def build_paper_example():
+    b = ScopBuilder("paper-example", element_size=8)
+    M = b.array("M", (4,))
+    with b.loop("i", 0, 4):
+        b.stmt(writes=[M[b.v("i")]], name="S0")
+    with b.loop("j", 0, 4):
+        b.stmt(reads=[M[3 - b.v("j")]], name="S1")
+    return b.build()
+
+
+def test_prev_map_matches_paper_next_map():
+    scop = build_paper_example()
+    builder = PrevMapBuilder(scop, line_size=8)
+    accesses = all_access_instances(scop)
+    s0_access = next(a for a in accesses if a.statement.name == "S0")
+    s1_access = next(a for a in accesses if a.statement.name == "S1")
+
+    # S0 writes every element first: no previous access anywhere.
+    regions = builder.prev_regions(s0_access)
+    assert all(region.is_first_touch for region in regions)
+
+    # S1(j) reads M[3-j], previously written by S0(3-j).
+    regions = builder.prev_regions(s1_access)
+    defined = [r for r in regions if not r.is_first_touch]
+    assert defined, "S1 must have a previous access everywhere"
+    for j in range(4):
+        covering = [r for r in defined if _holds(r.domain, {"j": j})]
+        assert len(covering) == 1, f"j={j} must be covered by exactly one piece"
+        region = covering[0]
+        assert region.candidate.source.statement.name == "S0"
+        values = region.candidate.source_values
+        assert len(values) == 1
+        assert values[0].evaluate({"j": j}) == 3 - j
+
+
+def _holds(system, point):
+    for constraint in system.constraints:
+        value = constraint.expr.evaluate(point)
+        if constraint.kind == "eq":
+            if value != 0:
+                return False
+        elif value < 0:
+            return False
+    return True
+
+
+def test_model_matches_paper_counts():
+    scop = build_paper_example()
+    # One element per line, cache of two lines (the paper's example capacity).
+    machine = MachineModel(line_size=8, levels=(MachineModel.single_level(16, 8).levels[0],))
+    result = CacheModel(machine).analyze(scop)
+    assert not result.used_fallback
+    assert result.accesses == 8
+    assert result.compulsory(0) == 4
+    assert result.capacity(0) == 2
+    assert result.hits(0) == 2
+
+
+def test_model_larger_cache_no_capacity_misses():
+    scop = build_paper_example()
+    machine = MachineModel.single_level(4 * 8, line_size=8)
+    result = CacheModel(machine).analyze(scop)
+    assert not result.used_fallback
+    assert result.compulsory(0) == 4
+    assert result.capacity(0) == 0
+    assert result.hits(0) == 4
+
+
+def test_model_cross_check_against_trace():
+    scop = build_paper_example()
+    machine = MachineModel(
+        line_size=8,
+        levels=(
+            MachineModel.single_level(16, 8).levels[0],
+        ),
+    )
+    options = ModelOptions(cross_check=True)
+    CacheModel(machine, options).analyze(scop)

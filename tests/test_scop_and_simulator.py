@@ -1,0 +1,104 @@
+"""Tests of the SCoP builder, trace generation and cache simulators using the
+paper's running example (Figure 2)."""
+
+import pytest
+
+from repro.scop import ScopBuilder
+from repro.simulator import (
+    CacheLevelConfig,
+    DineroSimulator,
+    FullyAssociativeLRU,
+    SetAssociativeCache,
+    StackDistanceProfiler,
+    TraceGenerator,
+)
+
+
+def build_paper_example():
+    """int M[4]; for i: M[i] = i; for j: sum += M[3-j];"""
+    b = ScopBuilder("paper-example", element_size=8)
+    M = b.array("M", (4,))
+    with b.loop("i", 0, 4):
+        b.stmt(writes=[M[b.v("i")]], name="S0")
+    with b.loop("j", 0, 4):
+        b.stmt(reads=[M[3 - b.v("j")]], name="S1")
+    return b.build()
+
+
+def test_builder_schedules():
+    scop = build_paper_example()
+    s0 = scop.statement("S0")
+    s1 = scop.statement("S1")
+    assert s0.schedule == (0, "i", 0)
+    assert s1.schedule == (1, "j", 0)
+    assert s0.instance_count() == 4
+    assert scop.total_accesses() == 8
+
+
+def test_trace_order_matches_paper():
+    scop = build_paper_example()
+    trace = list(TraceGenerator(scop, line_size=8).line_trace())
+    # One element per line: the trace visits lines 0,1,2,3 then 3,2,1,0.
+    assert trace == [0, 1, 2, 3, 3, 2, 1, 0]
+
+
+def test_stack_distances_match_paper():
+    scop = build_paper_example()
+    trace = list(TraceGenerator(scop, line_size=8).line_trace())
+    distances = StackDistanceProfiler().profile(trace)
+    assert distances == [None, None, None, None, 1, 2, 3, 4]
+
+
+def test_fully_associative_misses_match_paper():
+    scop = build_paper_example()
+    trace = list(TraceGenerator(scop, line_size=8).line_trace())
+    cache = FullyAssociativeLRU(cache_size=16, line_size=8)  # two lines
+    for line in trace:
+        cache.access_line(line)
+    assert cache.stats.compulsory_misses == 4
+    assert cache.stats.capacity_misses == 2
+    assert cache.stats.hits == 2
+
+
+def test_larger_cache_has_no_capacity_misses():
+    scop = build_paper_example()
+    trace = list(TraceGenerator(scop, line_size=8).line_trace())
+    cache = FullyAssociativeLRU(cache_size=4 * 8, line_size=8)
+    for line in trace:
+        cache.access_line(line)
+    assert cache.stats.capacity_misses == 0
+    assert cache.stats.hits == 4
+
+
+def test_triangular_domain_builder():
+    b = ScopBuilder("tri")
+    A = b.array("A", (8, 8))
+    with b.loop("i", 0, 8):
+        with b.loop("j", 0, b.v("i"), upper_inclusive=True):
+            b.stmt(reads=[A[b.v("i"), b.v("j")]])
+    scop = b.build()
+    assert scop.statements[0].instance_count() == 36
+
+
+def test_set_associative_direct_mapped_conflicts():
+    # Two lines mapping to the same set of a direct-mapped cache conflict.
+    cache = SetAssociativeCache(cache_size=2 * 64, line_size=64, associativity=1)
+    for _ in range(4):
+        cache.access_line(0)
+        cache.access_line(2)  # same set as line 0 (2 sets)
+    assert cache.stats.hits == 0
+    fully = FullyAssociativeLRU(cache_size=2 * 64, line_size=64)
+    for _ in range(4):
+        fully.access_line(0)
+        fully.access_line(2)
+    assert fully.stats.hits == 6
+
+
+def test_out_of_bounds_access_raises():
+    b = ScopBuilder("oob")
+    A = b.array("A", (4,))
+    with b.loop("i", 0, 5):
+        b.stmt(reads=[A[b.v("i")]])
+    scop = b.build()
+    with pytest.raises(IndexError):
+        list(TraceGenerator(scop).accesses())

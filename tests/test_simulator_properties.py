@@ -1,0 +1,51 @@
+"""Property-based tests for the cache simulators and the profiler."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator import FullyAssociativeLRU, SetAssociativeCache, StackDistanceProfiler
+
+line_traces = st.lists(st.integers(min_value=0, max_value=24), min_size=1, max_size=200)
+
+
+@given(line_traces, st.integers(min_value=1, max_value=16))
+@settings(max_examples=60, deadline=None)
+def test_stack_distance_inclusion_property(trace, capacity):
+    """An access hits an LRU cache of C lines iff its stack distance <= C."""
+    cache = FullyAssociativeLRU(capacity * 64, 64)
+    hits = [cache.access_line(line) for line in trace]
+    distances = StackDistanceProfiler().profile(trace)
+    for hit, distance in zip(hits, distances):
+        expected = distance is not None and distance <= capacity
+        assert hit == expected
+
+
+@given(line_traces, st.integers(min_value=1, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_lru_inclusion_across_sizes(trace, capacity):
+    """A larger LRU cache never has more misses (inclusion property)."""
+    small = FullyAssociativeLRU(capacity * 64, 64)
+    large = FullyAssociativeLRU(2 * capacity * 64, 64)
+    for line in trace:
+        small.access_line(line)
+        large.access_line(line)
+    assert large.stats.misses <= small.stats.misses
+    assert small.stats.compulsory_misses == large.stats.compulsory_misses
+
+
+@given(line_traces)
+@settings(max_examples=40, deadline=None)
+def test_compulsory_misses_equal_distinct_lines(trace):
+    cache = FullyAssociativeLRU(64, 64)
+    for line in trace:
+        cache.access_line(line)
+    assert cache.stats.compulsory_misses == len(set(trace))
+
+
+@given(line_traces)
+@settings(max_examples=30, deadline=None)
+def test_profiler_histogram_totals(trace):
+    histogram = StackDistanceProfiler().histogram(trace)
+    assert sum(histogram.values()) == len(trace)
+    assert histogram.get(None, 0) == len(set(trace))
