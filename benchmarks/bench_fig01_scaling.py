@@ -10,9 +10,8 @@ largest and smallest size must exceed the model's ratio by a wide margin.
 
 import pytest
 
-from helpers import SUITE, stencil_1d, trisum, run_simulator, timed
-from repro.core import CacheModel, ModelOptions
-from helpers import machine
+from helpers import machine, run_simulator, stencil_1d, sweep, timed, trisum
+from repro.core import CacheModel
 
 
 STENCIL_SIZES = [24, 48, 96]
@@ -21,12 +20,12 @@ TRISUM_SIZES = [8, 12, 16]
 
 def _scaling_experiment():
     rows = []
-    for size in STENCIL_SIZES:
+    for size in sweep(STENCIL_SIZES):
         scop = stencil_1d(size)
         model_result, model_time = timed(CacheModel(machine()).analyze, scop)
         sim_result = run_simulator(scop)
         rows.append(("stencil-1d", scop.total_accesses(), model_time, sim_result.elapsed_seconds))
-    for size in TRISUM_SIZES:
+    for size in sweep(TRISUM_SIZES):
         scop = trisum(size)
         model_result, model_time = timed(CacheModel(machine()).analyze, scop)
         sim_result = run_simulator(scop)

@@ -10,7 +10,7 @@ few percent for the scaled suite.
 
 import pytest
 
-from helpers import L1_SIZE, L2_SIZE, LINE, SUITE, run_model
+from helpers import L1_SIZE, L2_SIZE, run_models, suite
 from repro.hardware import HardwareLevelConfig, HardwareSurrogate
 from repro.reporting import format_table, geometric_mean
 
@@ -24,9 +24,10 @@ def _accuracy_experiment():
         padded_layout=True,
     )
     rows = []
-    for name, builder in SUITE.items():
-        scop = builder()
-        predicted = run_model(scop, (L1_SIZE, L2_SIZE))
+    kernels = suite()
+    scops = [builder() for builder in kernels.values()]
+    predictions = run_models(scops, (L1_SIZE, L2_SIZE))
+    for name, scop, predicted in zip(kernels, scops, predictions):
         measured = surrogate.measure(scop)
         errors = []
         for level in range(2):

@@ -10,7 +10,7 @@ measurement on the scaled suite.
 
 import pytest
 
-from helpers import L1_SIZE, L2_SIZE, LINE, SUITE, run_simulator
+from helpers import L1_SIZE, L2_SIZE, run_simulator, suite
 from repro.hardware import HardwareLevelConfig, HardwareSurrogate
 from repro.reporting import format_table
 
@@ -24,7 +24,7 @@ def _experiment():
         padded_layout=True,
     )
     rows = []
-    for name, builder in SUITE.items():
+    for name, builder in suite().items():
         scop = builder()
         fully = run_simulator(scop, (L1_SIZE, L2_SIZE), associativity=None)
         assoc = run_simulator(scop, (L1_SIZE, L2_SIZE), associativity=4)

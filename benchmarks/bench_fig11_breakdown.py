@@ -7,14 +7,15 @@ number of separately counted pieces.
 
 import pytest
 
-from helpers import SUITE, run_model
+from helpers import run_models, suite
 from repro.reporting import format_table
 
 
 def _experiment():
     rows = []
-    for name, builder in SUITE.items():
-        result = run_model(builder())
+    kernels = suite()
+    results = run_models([builder() for builder in kernels.values()])
+    for name, result in zip(kernels, results):
         rows.append(
             (
                 name,

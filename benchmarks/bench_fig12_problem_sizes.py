@@ -9,7 +9,7 @@ far slower than the access count.
 
 import pytest
 
-from helpers import machine, stencil_1d, timed, trisum
+from helpers import machine, stencil_1d, sweep, timed, trisum
 from repro.core import CacheModel
 from repro.reporting import format_table
 
@@ -23,7 +23,7 @@ SWEEPS = [
 def _experiment():
     rows = []
     for name, builder, sizes in SWEEPS:
-        for size in sizes:
+        for size in sweep(sizes):
             scop = builder(size)
             result, seconds = timed(CacheModel(machine()).analyze, scop)
             rows.append((name, size, scop.total_accesses(), round(seconds, 2), result.piece_count))

@@ -6,7 +6,7 @@ repeated per level, so additional levels add only minor overhead.
 
 import pytest
 
-from helpers import L1_SIZE, L2_SIZE, L3_SIZE, copy, machine, stencil_1d, timed, trisum
+from helpers import L1_SIZE, L2_SIZE, L3_SIZE, copy, machine, stencil_1d, sweep, timed, trisum
 from repro.core import CacheModel
 from repro.reporting import format_table
 
@@ -16,7 +16,7 @@ LEVEL_SETS = [(L1_SIZE,), (L1_SIZE, L2_SIZE), (L1_SIZE, L2_SIZE, L3_SIZE)]
 
 def _experiment():
     rows = []
-    for name, builder in KERNELS:
+    for name, builder in sweep(KERNELS):
         scop = builder()
         timings = []
         for levels in LEVEL_SETS:

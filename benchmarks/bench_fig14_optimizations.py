@@ -9,11 +9,9 @@ counting time with each optimisation disabled.
 
 import pytest
 
-from helpers import L1_SIZE, copy_line_grained, machine, nested_triangular, timed
+from helpers import L1_SIZE, machine, nonaffine_workloads, timed
 from repro.core import CacheModel, ModelOptions
 from repro.reporting import format_table
-
-WORKLOADS = [("nested-tri", nested_triangular), ("copy-lines", copy_line_grained)]
 
 CONFIGS = [
     ("all optimisations", ModelOptions()),
@@ -26,7 +24,7 @@ CONFIGS = [
 def _experiment():
     rows = []
     reference_misses = {}
-    for name, builder in WORKLOADS:
+    for name, builder in nonaffine_workloads():
         scop = builder()
         for label, options in CONFIGS:
             options.fallback_to_simulation = False

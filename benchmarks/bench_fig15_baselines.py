@@ -11,15 +11,21 @@ speedup of the model over Dinero grows with the problem size.
 
 import pytest
 
-from helpers import L1_SIZE, LINE, machine, run_simulator, stencil_1d, timed, trisum
+from helpers import L1_SIZE, LINE, machine, run_simulator, smoke_mode, stencil_1d, timed, trisum
 from repro.baselines import PolyCacheSurrogate
 from repro.core import CacheModel
 from repro.reporting import format_table
 
 
+def _workloads():
+    if smoke_mode():
+        return [("stencil-1d", stencil_1d, 16, 48), ("trisum", trisum, 8, 12)]
+    return [("stencil-1d", stencil_1d, 16, 128), ("trisum", trisum, 8, 20)]
+
+
 def _experiment():
     rows = []
-    for name, builder, small, large in [("stencil-1d", stencil_1d, 16, 128), ("trisum", trisum, 8, 20)]:
+    for name, builder, small, large in _workloads():
         for size in (small, large):
             scop = builder(size)
             _, model_time = timed(CacheModel(machine((L1_SIZE,))).analyze, scop)

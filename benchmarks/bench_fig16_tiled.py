@@ -8,18 +8,19 @@ execution time while the predicted misses stay exact.
 
 import pytest
 
-from helpers import L1_SIZE, LINE, machine, reference_misses, stencil_1d, timed, transpose
+from helpers import L1_SIZE, LINE, machine, reference_misses, smoke_mode, stencil_1d, timed, transpose
 from repro.core import CacheModel, ModelOptions
 from repro.reporting import format_table
 from repro.scop.schedule import tile_scop
 
 KERNELS = [("transpose", lambda n: transpose(n, n - 1), 10), ("stencil-1d", stencil_1d, 24)]
+SMOKE_KERNELS = [("transpose", lambda n: transpose(n, n - 1), 8), ("stencil-1d", stencil_1d, 16)]
 TILE_SIZE = 4
 
 
 def _experiment():
     rows = []
-    for name, builder, size in KERNELS:
+    for name, builder, size in (SMOKE_KERNELS if smoke_mode() else KERNELS):
         original = builder(size)
         tiled = tile_scop(original, TILE_SIZE)
         model = CacheModel(machine((L1_SIZE,)), ModelOptions())

@@ -8,16 +8,14 @@ statistic from the capacity counter on the line-granularity workloads.
 
 import pytest
 
-from helpers import L1_SIZE, copy_line_grained, machine, nested_triangular, run_model
+from helpers import L1_SIZE, machine, nonaffine_workloads
 from repro.core import CacheModel, ModelOptions
 from repro.reporting import format_table
-
-WORKLOADS = [("nested-tri", nested_triangular), ("copy-lines", copy_line_grained)]
 
 
 def _experiment():
     rows = []
-    for name, builder in WORKLOADS:
+    for name, builder in nonaffine_workloads():
         result = CacheModel(machine((L1_SIZE,)), ModelOptions(fallback_to_simulation=False)).analyze(builder())
         histogram = {0: 0, 1: 0, 2: 0}
         for dims in result.nonaffine_affine_dims:

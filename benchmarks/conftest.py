@@ -1,0 +1,27 @@
+"""Benchmark-harness pytest configuration: the ``--smoke`` fast mode.
+
+``pytest benchmarks/ --smoke`` runs every figure with truncated sweeps and
+smaller workloads (see ``helpers.smoke_mode``), which keeps a full benchmark
+pass within a CI budget.  The flag is exported through the ``REPRO_SMOKE``
+environment variable so the worker processes of the batch engine and the
+helpers module observe it regardless of import order.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run the benchmarks in fast mode (truncated sweeps, small workloads)",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--smoke"):
+        os.environ["REPRO_SMOKE"] = "1"

@@ -16,12 +16,14 @@ for the experiments that study exactly those code paths (Figure 14, Table 1).
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core import CacheLevelSpec, CacheModel, MachineModel, ModelOptions, ModelResult
+from repro.core import CacheLevelSpec, MachineModel, ModelOptions, ModelResult
+from repro.engine import BatchEngine, JobSpec
+from repro.engine.batch import default_worker_count
 from repro.scop import Scop, ScopBuilder
-from repro.scop.schedule import tile_scop
 from repro.simulator import CacheLevelConfig, DineroSimulator, StackDistanceProfiler, TraceGenerator
 
 LINE = 64
@@ -31,7 +33,27 @@ L1_SIZE = 16 * LINE
 L2_SIZE = 128 * LINE
 L3_SIZE = 1024 * LINE
 
-_MODEL_CACHE: Dict = {}
+#: Results memoised across benchmark modules, keyed on ``JobSpec.key()``.
+_RESULTS: Dict[Tuple, ModelResult] = {}
+
+
+def smoke_mode() -> bool:
+    """Fast-mode flag set by ``pytest --smoke`` (via the REPRO_SMOKE env var)."""
+    return os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
+
+def default_jobs() -> int:
+    """Worker count for benchmark fan-outs (REPRO_BENCH_JOBS overrides)."""
+    env = os.environ.get("REPRO_BENCH_JOBS", "")
+    if env:
+        return max(1, int(env))
+    return default_worker_count()
+
+
+def sweep(values: Sequence, keep: int = 2) -> List:
+    """Problem-size sweep, truncated to ``keep`` points in smoke mode."""
+    values = list(values)
+    return values[:keep] if smoke_mode() else values
 
 
 # ----------------------------------------------------------------------
@@ -191,7 +213,7 @@ def nested_triangular(n=8, element_size=LINE) -> Scop:
 
 def copy_line_grained(n=16) -> Scop:
     """8 elements per cache line; exercises the floor-elimination paths."""
-    b = ScopBuilder("copy-lines", element_size=8)
+    b = ScopBuilder("copy-lines", context={"N": n}, element_size=8)
     A = b.array("A", (n,))
     B = b.array("B", (n,))
     with b.loop("i", 0, n):
@@ -201,7 +223,7 @@ def copy_line_grained(n=16) -> Scop:
 
 def triangular_line_grained(n=8) -> Scop:
     """Triangular kernel at cache-line granularity: non-affine distances."""
-    b = ScopBuilder("tri-lines", element_size=8)
+    b = ScopBuilder("tri-lines", context={"N": n}, element_size=8)
     A = b.array("A", (n, n))
     s = b.array("s", (n,))
     with b.loop("i", 0, n):
@@ -222,6 +244,24 @@ SUITE = {
 }
 
 
+def suite() -> Dict:
+    """The benchmark suite, truncated to two kernels in smoke mode."""
+    if smoke_mode():
+        return {name: SUITE[name] for name in ("transpose", "trisum")}
+    return dict(SUITE)
+
+
+def nonaffine_workloads() -> List[Tuple[str, "object"]]:
+    """Line-granularity workloads with non-affine stack distances.
+
+    Shared by the Figure 14 ablation and the Table 1 statistic so both
+    exercise identical kernels; smoke mode shrinks the problem sizes.
+    """
+    if smoke_mode():
+        return [("nested-tri", lambda: nested_triangular(5)), ("copy-lines", lambda: copy_line_grained(8))]
+    return [("nested-tri", nested_triangular), ("copy-lines", copy_line_grained)]
+
+
 # ----------------------------------------------------------------------
 # Runners
 # ----------------------------------------------------------------------
@@ -232,18 +272,50 @@ def machine(levels: Tuple[int, ...] = (L1_SIZE, L2_SIZE), line_size: int = LINE)
     )
 
 
+def _job_for(scop: Scop, levels: Tuple[int, ...], options: Optional[ModelOptions]) -> JobSpec:
+    resolved = options or ModelOptions()
+    return JobSpec(
+        kernel=scop.name,
+        scop=scop,
+        line_size=LINE,
+        levels=tuple(levels),
+        fallback=resolved.fallback_to_simulation,
+        equalization=resolved.equalization,
+        rasterization=resolved.rasterization,
+        partial_enumeration=resolved.partial_enumeration,
+        symbolic_work_budget=resolved.symbolic_work_budget,
+        cross_check=resolved.cross_check,
+    )
+
+
+def run_models(
+    scops: Sequence[Scop],
+    levels: Tuple[int, ...] = (L1_SIZE, L2_SIZE),
+    options: Optional[ModelOptions] = None,
+    *,
+    jobs: Optional[int] = None,
+) -> List[ModelResult]:
+    """Analyse several kernels through the batch engine (parallel workers).
+
+    Results are memoised across benchmark modules on the job identity, so a
+    kernel analysed by one figure is free for every later figure.  Ordering
+    is deterministic: results come back in argument order regardless of the
+    worker count.
+    """
+    specs = [_job_for(scop, levels, options) for scop in scops]
+    missing = [spec for spec in specs if spec.key() not in _RESULTS]
+    if missing:
+        batch = BatchEngine(jobs if jobs is not None else default_jobs()).run(missing)
+        for spec, record in zip(missing, batch.records):
+            if not record.ok or record.result is None:
+                raise RuntimeError(f"benchmark job {spec.describe()} failed: {record.error}")
+            _RESULTS[spec.key()] = record.result
+    return [_RESULTS[spec.key()] for spec in specs]
+
+
 def run_model(scop: Scop, levels: Tuple[int, ...] = (L1_SIZE, L2_SIZE), options: Optional[ModelOptions] = None) -> ModelResult:
     """Run the analytical model (memoised across benchmark modules)."""
-    key = (scop.name, tuple(sorted(scop.context.items())), levels, _options_key(options))
-    if key not in _MODEL_CACHE:
-        _MODEL_CACHE[key] = CacheModel(machine(levels), options).analyze(scop)
-    return _MODEL_CACHE[key]
-
-
-def _options_key(options: Optional[ModelOptions]) -> Tuple:
-    if options is None:
-        return ()
-    return (options.equalization, options.rasterization, options.partial_enumeration)
+    return run_models([scop], levels, options, jobs=1)[0]
 
 
 def run_simulator(scop: Scop, levels: Tuple[int, ...] = (L1_SIZE, L2_SIZE), associativity=None):

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file only enables the legacy
+editable-install path (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``) for minimal environments that lack the
+``wheel`` package required by PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -6,20 +6,86 @@ Examples::
     repro-haystack model gemm --dataset mini --l1 32768 --l2 1048576
     repro-haystack simulate jacobi-1d --dataset mini --l1 32768
     repro-haystack compare trisolv --dataset mini --l1 4096
+    repro-haystack batch --kernels gemm,atax,mvt --jobs 4 --output results.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .core import CacheLevelSpec, CacheModel, MachineModel, ModelOptions
-from .reporting import format_table
+from .core.budget import BudgetExhausted
+from .core.prevmap import ModelFallbackRequired
+from .engine import BatchEngine, expand_matrix
+from .reporting import format_batch_summary, format_table
 from .scop.polybench import build_kernel, dataset_names, kernel_names
 from .simulator import CacheLevelConfig, DineroSimulator
 
 __all__ = ["main"]
+
+#: Default deterministic symbolic work budget for CLI runs.  Heavy kernels
+#: trip it within seconds and degrade to the exact trace-based fallback
+#: (flagged in the output); ``--budget 0`` removes the bound.
+DEFAULT_WORK_BUDGET = 10_000
+
+
+def _budget_value(args) -> Optional[int]:
+    return args.budget if args.budget > 0 else None
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _warn_fallback(args, exc: Exception) -> None:
+    """Announce the fallback *before* the trace enumeration starts."""
+    if isinstance(exc, BudgetExhausted):
+        cause = (
+            f"exceeded the work budget ({args.budget} units); raise --budget "
+            "(0 = unlimited) to keep the symbolic pipeline going"
+        )
+    else:
+        cause = f"cannot handle this program exactly ({exc})"
+    print(
+        f"note: the symbolic analysis {cause}. Computing exact miss counts from "
+        "the trace instead — this enumerates every access and can be slow for "
+        "large datasets.",
+        file=sys.stderr,
+    )
+    sys.stderr.flush()
+
+
+def _analyze_for_cli(args, scop):
+    """Symbolic analysis first; on failure warn, then run the exact fallback.
+
+    Returns ``(result, exit_code)`` with ``result=None`` when ``--no-fallback``
+    turned the failure into an error.
+    """
+    model = CacheModel(
+        _machine(args),
+        ModelOptions(fallback_to_simulation=False, symbolic_work_budget=_budget_value(args)),
+    )
+    try:
+        return model.analyze(scop), 0
+    except (ModelFallbackRequired, BudgetExhausted) as exc:
+        if args.no_fallback:
+            print(f"symbolic analysis failed and fallback is disabled: {exc}", file=sys.stderr)
+            return None, 3
+        _warn_fallback(args, exc)
+        return model.analyze_by_trace(scop), 0
 
 
 def _machine(args) -> MachineModel:
@@ -35,6 +101,17 @@ def _simulator(args) -> DineroSimulator:
     sizes = [args.l1] + ([args.l2] if args.l2 else []) + ([args.l3] if args.l3 else [])
     return DineroSimulator(
         [CacheLevelConfig(cache_size=size, line_size=args.line_size, associativity=args.associativity) for size in sizes]
+    )
+
+
+def _add_budget_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--budget",
+        type=_nonnegative_int,
+        default=DEFAULT_WORK_BUDGET,
+        metavar="UNITS",
+        help="deterministic symbolic work budget; exceeding it falls back to the "
+        f"exact trace computation (default {DEFAULT_WORK_BUDGET}, 0 = unlimited)",
     )
 
 
@@ -56,6 +133,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     model_parser = subparsers.add_parser("model", help="run the analytical cache model")
     _add_cache_arguments(model_parser)
     model_parser.add_argument("--no-fallback", action="store_true", help="fail instead of falling back to the trace")
+    _add_budget_argument(model_parser)
 
     sim_parser = subparsers.add_parser("simulate", help="run the trace-driven simulator")
     _add_cache_arguments(sim_parser)
@@ -64,6 +142,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     cmp_parser = subparsers.add_parser("compare", help="run both and compare the miss counts")
     _add_cache_arguments(cmp_parser)
     cmp_parser.add_argument("--associativity", type=int, default=None)
+    cmp_parser.add_argument("--no-fallback", action="store_true", help="fail instead of falling back to the trace")
+    _add_budget_argument(cmp_parser)
+
+    batch_parser = subparsers.add_parser(
+        "batch", help="analyse a kernel x dataset matrix across a worker pool"
+    )
+    batch_parser.add_argument(
+        "--kernels",
+        required=True,
+        help="comma-separated kernel names, or 'all' for the full PolyBench suite",
+    )
+    batch_parser.add_argument(
+        "--datasets", default="mini", help="comma-separated dataset classes (default: mini)"
+    )
+    batch_parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N", help="worker processes")
+    batch_parser.add_argument("--output", metavar="FILE", help="write the batch results as JSON")
+    batch_parser.add_argument("--line-size", type=int, default=64)
+    batch_parser.add_argument("--l1", type=int, default=32 * 1024, help="L1 size in bytes")
+    batch_parser.add_argument("--l2", type=int, default=0, help="L2 size in bytes (0 = disabled)")
+    batch_parser.add_argument("--l3", type=int, default=0, help="L3 size in bytes (0 = disabled)")
+    batch_parser.add_argument("--no-fallback", action="store_true", help="record an error instead of falling back")
+    _add_budget_argument(batch_parser)
 
     args = parser.parse_args(argv)
 
@@ -72,10 +172,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
 
+    if args.command == "batch":
+        return _run_batch(args)
+
+    if args.kernel not in kernel_names():
+        print(
+            f"unknown kernel {args.kernel!r}; run `repro-haystack list` for the available kernels",
+            file=sys.stderr,
+        )
+        return 2
     scop = build_kernel(args.kernel, args.dataset)
     if args.command == "model":
-        options = ModelOptions(fallback_to_simulation=not args.no_fallback)
-        result = CacheModel(_machine(args), options).analyze(scop)
+        result, exit_code = _analyze_for_cli(args, scop)
+        if result is None:
+            return exit_code
         rows = [
             (level.name, level.cache_size, level.accesses, level.compulsory, level.capacity, level.misses, level.hits)
             for level in result.level_results
@@ -98,17 +208,68 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "compare":
-        model_result = CacheModel(_machine(args)).analyze(scop)
+        model_result, exit_code = _analyze_for_cli(args, scop)
+        if model_result is None:
+            return exit_code
         sim_result = _simulator(args).run(scop)
         rows = []
+        disagreement = 0
         for index, level in enumerate(model_result.level_results):
             sim = sim_result.levels[index]
-            rows.append((level.name, level.misses, sim.misses, level.misses - sim.misses))
-        print(format_table(["level", "model misses", "simulated misses", "difference"], rows,
-                           title=f"{scop.name} ({args.dataset}) — model vs. simulation"))
-        return 0
+            difference = level.misses - sim.misses
+            disagreement += abs(difference)
+            rows.append((level.name, level.misses, sim.misses, difference))
+        # A fallback "model" result is itself trace-derived, so agreement with
+        # the simulator does not validate the symbolic pipeline; say so.
+        title = f"{scop.name} ({args.dataset}) — model vs. simulation"
+        if model_result.used_fallback:
+            title += " (model used trace fallback)"
+        print(format_table(["level", "model misses", "simulated misses", "difference"], rows, title=title))
+        return 1 if disagreement else 0
 
     return 1
+
+
+def _run_batch(args) -> int:
+    if args.kernels.strip().lower() == "all":
+        kernels = kernel_names()
+    else:
+        kernels = [name.strip() for name in args.kernels.split(",") if name.strip()]
+    datasets = [name.strip() for name in args.datasets.split(",") if name.strip()]
+    if not kernels:
+        print("no kernels given (use --kernels name[,name...] or --kernels all)", file=sys.stderr)
+        return 2
+    if not datasets:
+        print("no datasets given (use --datasets name[,name...])", file=sys.stderr)
+        return 2
+    unknown = [name for name in kernels if name not in kernel_names()]
+    if unknown:
+        print(f"unknown kernels: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    invalid = [name for name in datasets if name not in dataset_names()]
+    if invalid:
+        print(f"unknown datasets: {', '.join(invalid)}", file=sys.stderr)
+        return 2
+    if args.l1 <= 0:
+        print("--l1 must be a positive size in bytes (only L2/L3 can be disabled with 0)", file=sys.stderr)
+        return 2
+    levels = tuple(size for size in (args.l1, args.l2, args.l3) if size)
+    specs = expand_matrix(
+        kernels,
+        datasets,
+        [levels],
+        line_size=args.line_size,
+        fallback=not args.no_fallback,
+        symbolic_work_budget=_budget_value(args),
+    )
+    batch = BatchEngine(args.jobs).run(specs)
+    print(format_batch_summary(batch))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(batch.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {len(batch)} job records to {args.output}")
+    return 0 if batch.error_count == 0 else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

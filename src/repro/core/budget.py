@@ -1,0 +1,24 @@
+"""Deterministic work budget for the symbolic pipeline (core-level API).
+
+The budget machinery lives in :mod:`repro.isl.work` so the symbolic
+primitives (feasibility checks, counting recursion, lexicographic
+optimisation) can charge it without layering violations; this module
+re-exports it for model-level callers.
+
+The model already degrades gracefully via the exact trace-based fallback;
+the budget gives callers a *deterministic* trigger for that degradation: a
+bound on symbolic work units instead of wall-clock time, so a budgeted
+analysis makes the identical fallback decision on every run and on every
+worker of a batch — parallel results stay byte-identical to sequential ones.
+
+A budget of ``None`` means unlimited (the library default).  The CLI applies
+a finite default so interactive runs always terminate promptly; the result
+is still exact (the fallback computes the same miss counts from the trace)
+and is flagged via ``ModelResult.used_fallback``.
+"""
+
+from __future__ import annotations
+
+from ..isl.work import BudgetExhausted, WorkBudget, active_budget
+
+__all__ = ["BudgetExhausted", "WorkBudget", "active_budget"]

@@ -11,9 +11,8 @@ remaining dimensions are still counted symbolically.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..isl.constraints import ConstraintSystem, enumerate_points, ge
 from ..isl.counting import CountingError, cardinality
@@ -63,12 +62,28 @@ class CapacityCountStats:
 
 
 class CapacityCounter:
-    """Counts cache misses of distance pieces against a cache capacity."""
+    """Counts cache misses of distance pieces against a cache capacity.
 
-    def __init__(self, loop_vars: Sequence[str], options: Optional[CounterOptions] = None) -> None:
+    ``cardinality_cache`` (see :class:`repro.engine.cache.CardinalityCache`)
+    memoizes the symbolic counts; sharing one cache across the hierarchy
+    levels of an access means e.g. a constant-distance piece whose domain is
+    counted for L1 is served from the cache for L2 and L3.
+    """
+
+    def __init__(
+        self,
+        loop_vars: Sequence[str],
+        options: Optional[CounterOptions] = None,
+        *,
+        cardinality_cache=None,
+        budget=None,
+    ) -> None:
         self.loop_vars = list(loop_vars)
         self.options = options or CounterOptions()
         self.stats = CapacityCountStats()
+        self.cardinality_cache = cardinality_cache
+        #: Optional :class:`repro.core.budget.WorkBudget`, charged per piece.
+        self.budget = budget
 
     # ------------------------------------------------------------------
     # Public API
@@ -84,6 +99,8 @@ class CapacityCounter:
     # Algorithm 1
     # ------------------------------------------------------------------
     def _count_piece(self, piece: DistancePiece, capacity_lines: int) -> int:
+        if self.budget is not None:
+            self.budget.charge()
         self.stats.pieces_counted += 1
         polynomial = piece.polynomial
         if polynomial.is_constant():
@@ -152,6 +169,8 @@ class CapacityCounter:
     def _cardinality(self, domain: ConstraintSystem) -> int:
         count_vars = [v for v in self.loop_vars if domain.involves(v)]
         try:
+            if self.cardinality_cache is not None:
+                return self.cardinality_cache.cardinality(domain, count_vars)
             return cardinality(domain, count_vars)
         except CountingError as exc:
             raise ModelFallbackRequired(f"symbolic cardinality failed: {exc}") from exc

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..isl.constraints import ConstraintSystem
 from ..isl.counting import CountingError, count_points
@@ -69,10 +69,14 @@ class AccessDistances:
 class StackDistanceAnalysis:
     """Computes the symbolic stack distances of every access of a SCoP."""
 
-    def __init__(self, scop: Scop, *, line_size: int = 64) -> None:
+    def __init__(self, scop: Scop, *, line_size: int = 64, budget=None) -> None:
         self.scop = scop
         self.line_size = line_size
-        self.prev_builder = PrevMapBuilder(scop, line_size=line_size)
+        #: Optional :class:`repro.core.budget.WorkBudget` shared with the
+        #: previous-access map; charged per reuse-window system so heavy
+        #: kernels trip a deterministic fallback.
+        self.budget = budget
+        self.prev_builder = PrevMapBuilder(scop, line_size=line_size, budget=budget)
         self.schedule_length = scop.schedule_length()
         #: Wall-clock seconds spent in the stack-distance phase (Figure 11).
         self.elapsed_seconds: float = 0.0
@@ -143,6 +147,8 @@ class StackDistanceAnalysis:
                 for lower in lower_disjuncts:
                     for upper in upper_disjuncts:
                         for first_touch in first_touch_disjuncts:
+                            if self.budget is not None:
+                                self.budget.charge()
                             system = region.domain.conjoin(witness_domain)
                             system = system.conjoin(witness_piece_domain)
                             for constraint in lower + upper + first_touch:
@@ -174,6 +180,8 @@ class StackDistanceAnalysis:
             extra = [c for c in domain.constraints if _constraint_key(c) not in base_keys]
             updated: List[Tuple[ConstraintSystem, QPoly]] = []
             for piece_domain, piece_poly in pieces:
+                if self.budget is not None:
+                    self.budget.charge()
                 if not extra:
                     updated.append((piece_domain, piece_poly + polynomial))
                     continue

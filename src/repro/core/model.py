@@ -12,22 +12,30 @@
 
 Stack distances are computed once and re-used for every cache level, exactly
 like the paper (Section 4.3, Figure 13).  If the symbolic pipeline cannot
-handle a program exactly, the model optionally falls back to the trace-based
-reference computation and flags the result, so callers always receive exact
-miss counts.
+handle a program exactly — or exceeds the configured deterministic work
+budget (:mod:`repro.core.budget`) — the model optionally falls back to the
+trace-based reference computation and flags the result, so callers always
+receive exact miss counts.
+
+Each analysis job runs with a fresh memoizing cardinality cache
+(:mod:`repro.engine.cache`) shared across first-touch and capacity counts of
+all hierarchy levels; its hit/miss statistics are reported in
+:class:`~repro.core.results.TimingBreakdown`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..isl.counting import CountingError, cardinality
+from ..engine.cache import CardinalityCache
+from ..isl.counting import CountingError
 from ..scop.scop import Scop
+from .budget import BudgetExhausted, WorkBudget, active_budget
 from .capacity import CapacityCounter, CounterOptions
 from .config import MachineModel
-from .distance import AccessDistances, StackDistanceAnalysis
+from .distance import StackDistanceAnalysis
 from .prevmap import ModelFallbackRequired
 from .results import AccessMissCounts, LevelMissCounts, ModelResult, TimingBreakdown
 
@@ -47,6 +55,11 @@ class ModelOptions:
     #: Cross-check the symbolic result against the trace-based reference
     #: (test-suite use only; requires enumerating the trace).
     cross_check: bool = False
+    #: Deterministic bound on symbolic work units (see
+    #: :class:`repro.core.budget.WorkBudget`); ``None`` = unlimited.  When the
+    #: budget trips the model falls back to the exact trace computation (or
+    #: raises, with ``fallback_to_simulation=False``).
+    symbolic_work_budget: Optional[int] = None
 
     def counter_options(self) -> CounterOptions:
         return CounterOptions(
@@ -67,10 +80,16 @@ class CacheModel:
     # Public API
     # ------------------------------------------------------------------
     def analyze(self, scop: Scop) -> ModelResult:
-        """Compute compulsory and capacity misses for every cache level."""
+        """Compute compulsory and capacity misses for every cache level.
+
+        The symbolic pipeline runs under the configured work budget (see
+        :class:`repro.core.budget.WorkBudget`); both an exact-computation
+        failure and budget exhaustion degrade to the trace-based fallback,
+        which is exact and flagged on the result.
+        """
         try:
             result = self._analyze_symbolic(scop)
-        except ModelFallbackRequired:
+        except (ModelFallbackRequired, BudgetExhausted):
             if not self.options.fallback_to_simulation:
                 raise
             result = self._analyze_by_trace(scop, used_fallback=True)
@@ -78,17 +97,36 @@ class CacheModel:
             self._cross_check(scop, result)
         return result
 
+    def analyze_by_trace(self, scop: Scop) -> ModelResult:
+        """Exact trace-based analysis (the fallback path), flagged as such.
+
+        Callers that want to react to a failed symbolic run *before* the
+        (potentially long) trace enumeration starts — e.g. the CLI, which
+        warns the user first — disable ``fallback_to_simulation``, catch the
+        failure and invoke this method explicitly.
+        """
+        return self._analyze_by_trace(scop, used_fallback=True)
+
     # ------------------------------------------------------------------
     # Symbolic pipeline
     # ------------------------------------------------------------------
     def _analyze_symbolic(self, scop: Scop) -> ModelResult:
+        budget = WorkBudget(self.options.symbolic_work_budget)
+        with active_budget(budget):
+            return self._analyze_symbolic_under_budget(scop, budget)
+
+    def _analyze_symbolic_under_budget(self, scop: Scop, budget: WorkBudget) -> ModelResult:
         line_size = self.machine.line_size
-        analysis = StackDistanceAnalysis(scop, line_size=line_size)
+        analysis = StackDistanceAnalysis(scop, line_size=line_size, budget=budget)
         distances = analysis.analyze()
 
         capacity_start = time.perf_counter()
         capacities = self.machine.capacities_in_lines()
         labels = self.machine.level_labels()
+        # One memoizing cache per analysis job: repeated first-touch and
+        # capacity counts (e.g. the same constant-distance domain counted for
+        # every hierarchy level) are served from memory instead of re-derived.
+        cardinality_cache = CardinalityCache()
 
         per_access: List[AccessMissCounts] = []
         piece_count = 0
@@ -106,10 +144,15 @@ class CacheModel:
 
             compulsory = 0
             for domain in access_distances.first_touch_domains:
-                compulsory += self._domain_cardinality(domain, statement.loop_vars)
+                compulsory += self._domain_cardinality(domain, statement.loop_vars, cardinality_cache)
 
             capacity_per_level: List[int] = []
-            counter = CapacityCounter(statement.loop_vars, self.options.counter_options())
+            counter = CapacityCounter(
+                statement.loop_vars,
+                self.options.counter_options(),
+                cardinality_cache=cardinality_cache,
+                budget=budget,
+            )
             for capacity_lines in capacities:
                 capacity_per_level.append(counter.count_misses(access_distances.pieces, capacity_lines))
             piece_count += counter.stats.pieces_counted
@@ -134,6 +177,8 @@ class CacheModel:
         timing = TimingBreakdown(
             stack_distance_seconds=analysis.elapsed_seconds,
             capacity_seconds=capacity_seconds,
+            cardinality_cache_hits=cardinality_cache.stats.hits,
+            cardinality_cache_misses=cardinality_cache.stats.misses,
         )
         return ModelResult(
             kernel=scop.name,
@@ -164,10 +209,10 @@ class CacheModel:
             )
         return levels
 
-    def _domain_cardinality(self, domain, loop_vars) -> int:
+    def _domain_cardinality(self, domain, loop_vars, cache: CardinalityCache) -> int:
         count_vars = [v for v in loop_vars if domain.involves(v)]
         try:
-            return cardinality(domain, count_vars)
+            return cache.cardinality(domain, count_vars)
         except CountingError as exc:
             raise ModelFallbackRequired(f"cardinality of first-touch domain failed: {exc}") from exc
 

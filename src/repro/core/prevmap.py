@@ -14,13 +14,13 @@ misses (paper Section 3.4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..isl.constraints import ConstraintSystem, UnboundedSetError, eq
 from ..isl.lexopt import LexOptError, lexmax
 from ..isl.qpoly import QPoly
 from ..scop.scop import Scop
-from .refs import AccessInstance, all_access_instances, rename_map
+from .refs import AccessInstance, all_access_instances
 from .regions import feasible, lex_compare_exprs, lex_order_disjuncts, subtract
 
 __all__ = ["ModelFallbackRequired", "PrevCandidate", "PrevRegion", "PrevMapBuilder"]
@@ -64,12 +64,16 @@ class PrevRegion:
 class PrevMapBuilder:
     """Builds and caches previous-access maps for all accesses of a SCoP."""
 
-    def __init__(self, scop: Scop, *, line_size: int = 64) -> None:
+    def __init__(self, scop: Scop, *, line_size: int = 64, budget=None) -> None:
         self.scop = scop
         self.line_size = line_size
         self.schedule_length = scop.schedule_length()
         self.accesses = all_access_instances(scop)
         self._cache: Dict[Tuple[str, int], List[PrevRegion]] = {}
+        #: Optional :class:`repro.core.budget.WorkBudget`; charged per
+        #: candidate disjunct and per region merge so runaway kernels trip a
+        #: deterministic fallback instead of running unbounded.
+        self.budget = budget
 
     # ------------------------------------------------------------------
     # Public API
@@ -110,6 +114,8 @@ class PrevMapBuilder:
         target_schedule = target.schedule_exprs(length)
         candidates: List[PrevCandidate] = []
         for disjunct in lex_order_disjuncts(source_schedule, target_schedule, strict=True):
+            if self.budget is not None:
+                self.budget.charge()
             system = base.conjoin(disjunct)
             if not feasible(system):
                 continue
@@ -144,6 +150,8 @@ class PrevMapBuilder:
     def _merge_candidate(self, regions: List[PrevRegion], candidate: PrevCandidate) -> List[PrevRegion]:
         updated: List[PrevRegion] = []
         for region in regions:
+            if self.budget is not None:
+                self.budget.charge()
             overlap = region.domain.conjoin(candidate.domain)
             if not feasible(overlap):
                 updated.append(region)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 __all__ = ["AccessMissCounts", "LevelMissCounts", "ModelResult", "TimingBreakdown"]
 
@@ -26,6 +26,29 @@ class AccessMissCounts:
 
     def hits(self, level: int) -> int:
         return self.accesses - self.misses(level)
+
+    def to_dict(self) -> Dict:
+        return {
+            "statement": self.statement,
+            "position": self.position,
+            "array": self.array,
+            "is_write": self.is_write,
+            "accesses": self.accesses,
+            "compulsory": self.compulsory,
+            "capacity": list(self.capacity),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "AccessMissCounts":
+        return cls(
+            statement=data["statement"],
+            position=data["position"],
+            array=data["array"],
+            is_write=data["is_write"],
+            accesses=data["accesses"],
+            compulsory=data["compulsory"],
+            capacity=list(data.get("capacity", [])),
+        )
 
 
 @dataclass
@@ -61,18 +84,68 @@ class LevelMissCounts:
             "hits": self.hits,
         }
 
+    #: JSON serialization alias (``misses``/``hits`` are derived and
+    #: therefore ignored by :meth:`from_dict`).
+    to_dict = as_dict
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LevelMissCounts":
+        return cls(
+            name=data["name"],
+            cache_size=data["cache_size"],
+            accesses=data["accesses"],
+            compulsory=data["compulsory"],
+            capacity=data["capacity"],
+        )
+
 
 @dataclass
 class TimingBreakdown:
-    """Wall-clock breakdown of the model phases (Figure 11)."""
+    """Wall-clock breakdown of the model phases (Figure 11).
+
+    Also carries the cardinality-cache counters of the run (see
+    :class:`repro.engine.cache.CardinalityCache`): how often a first-touch or
+    capacity count was served memoized instead of re-derived symbolically.
+    """
 
     stack_distance_seconds: float = 0.0
     capacity_seconds: float = 0.0
     other_seconds: float = 0.0
+    cardinality_cache_hits: int = 0
+    cardinality_cache_misses: int = 0
 
     @property
     def total_seconds(self) -> float:
         return self.stack_distance_seconds + self.capacity_seconds + self.other_seconds
+
+    @property
+    def cardinality_cache_lookups(self) -> int:
+        return self.cardinality_cache_hits + self.cardinality_cache_misses
+
+    @property
+    def cardinality_cache_hit_rate(self) -> float:
+        lookups = self.cardinality_cache_lookups
+        return self.cardinality_cache_hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "stack_distance_seconds": self.stack_distance_seconds,
+            "capacity_seconds": self.capacity_seconds,
+            "other_seconds": self.other_seconds,
+            "total_seconds": self.total_seconds,
+            "cardinality_cache_hits": self.cardinality_cache_hits,
+            "cardinality_cache_misses": self.cardinality_cache_misses,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TimingBreakdown":
+        return cls(
+            stack_distance_seconds=data.get("stack_distance_seconds", 0.0),
+            capacity_seconds=data.get("capacity_seconds", 0.0),
+            other_seconds=data.get("other_seconds", 0.0),
+            cardinality_cache_hits=data.get("cardinality_cache_hits", 0),
+            cardinality_cache_misses=data.get("cardinality_cache_misses", 0),
+        )
 
 
 @dataclass
@@ -129,17 +202,33 @@ class ModelResult:
             return 0.0
         return abs(self.misses(level) - measured_misses) / self.accesses
 
-    def as_dict(self) -> Dict:
+    def to_dict(self) -> Dict:
+        """Full JSON-serializable form; inverse of :meth:`from_dict`."""
         return {
             "kernel": self.kernel,
-            "levels": [level.as_dict() for level in self.level_results],
+            "levels": [level.to_dict() for level in self.level_results],
+            "per_access": [entry.to_dict() for entry in self.per_access],
             "piece_count": self.piece_count,
             "nonaffine_pieces": self.nonaffine_pieces,
+            "nonaffine_affine_dims": list(self.nonaffine_affine_dims),
             "enumerated_points": self.enumerated_points,
             "used_fallback": self.used_fallback,
-            "timing": {
-                "stack_distance_seconds": self.timing.stack_distance_seconds,
-                "capacity_seconds": self.timing.capacity_seconds,
-                "total_seconds": self.timing.total_seconds,
-            },
+            "timing": self.timing.to_dict(),
         }
+
+    #: Backward-compatible alias of :meth:`to_dict`.
+    as_dict = to_dict
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ModelResult":
+        return cls(
+            kernel=data["kernel"],
+            level_results=[LevelMissCounts.from_dict(entry) for entry in data.get("levels", [])],
+            per_access=[AccessMissCounts.from_dict(entry) for entry in data.get("per_access", [])],
+            timing=TimingBreakdown.from_dict(data.get("timing", {})),
+            piece_count=data.get("piece_count", 0),
+            nonaffine_pieces=data.get("nonaffine_pieces", 0),
+            nonaffine_affine_dims=list(data.get("nonaffine_affine_dims", [])),
+            enumerated_points=data.get("enumerated_points", 0),
+            used_fallback=data.get("used_fallback", False),
+        )

@@ -1,0 +1,53 @@
+"""Batch analysis engine: parallel fan-out of analytical model runs.
+
+The engine layer turns the one-kernel-at-a-time :class:`repro.core.CacheModel`
+into a throughput-oriented service:
+
+* :mod:`repro.engine.jobs` describes a *job matrix* (kernel x dataset x
+  machine model x options) as picklable :class:`JobSpec` records,
+* :mod:`repro.engine.batch` fans the jobs out across a ``multiprocessing``
+  worker pool with deterministic result ordering and per-job error capture
+  (one failed kernel never kills the batch),
+* :mod:`repro.engine.cache` provides the per-job memoizing cardinality cache
+  that the model threads through its first-touch and capacity counts.
+
+``repro.core`` imports :mod:`repro.engine.cache` while
+:mod:`repro.engine.batch` imports ``repro.core``; the batch/jobs names are
+therefore re-exported lazily to keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from .cache import CardinalityCache, CardinalityCacheStats
+
+__all__ = [
+    "BatchEngine",
+    "BatchResult",
+    "CardinalityCache",
+    "CardinalityCacheStats",
+    "JobRecord",
+    "JobSpec",
+    "expand_matrix",
+    "run_batch",
+]
+
+_LAZY = {
+    "BatchEngine": "batch",
+    "BatchResult": "batch",
+    "JobRecord": "batch",
+    "run_batch": "batch",
+    "JobSpec": "jobs",
+    "expand_matrix": "jobs",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,215 @@
+"""Parallel fan-out of analytical model jobs over a worker pool.
+
+:class:`BatchEngine` takes a list of :class:`~repro.engine.jobs.JobSpec`
+records and runs them either inline (``jobs=1``) or across a
+``multiprocessing`` pool.  Three invariants hold regardless of worker count:
+
+* **deterministic ordering** — results come back in job-list order
+  (``Pool.map`` preserves it), so a parallel batch is byte-identical to the
+  sequential one;
+* **error isolation** — exceptions are caught inside the worker and recorded
+  on the :class:`JobRecord`; one failed kernel never kills the batch;
+* **per-job caching** — every job runs with a fresh
+  :class:`~repro.engine.cache.CardinalityCache` whose hit/miss statistics
+  travel back in the result's :class:`~repro.core.results.TimingBreakdown`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core import CacheLevelSpec, CacheModel, MachineModel, ModelOptions
+from ..core.results import ModelResult
+from .jobs import JobSpec
+
+__all__ = ["BatchEngine", "BatchResult", "JobRecord", "run_batch"]
+
+#: JSON schema version of the serialized batch payload.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class JobRecord:
+    """Outcome of one job: either a :class:`ModelResult` or a captured error."""
+
+    kernel: str
+    dataset: str
+    levels: List[int]
+    line_size: int
+    status: str = "ok"
+    error: str = ""
+    elapsed_seconds: float = 0.0
+    result: Optional[ModelResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def used_fallback(self) -> bool:
+        return bool(self.result is not None and self.result.used_fallback)
+
+    def to_dict(self) -> Dict:
+        return {
+            "kernel": self.kernel,
+            "dataset": self.dataset,
+            "levels": list(self.levels),
+            "line_size": self.line_size,
+            "status": self.status,
+            "error": self.error,
+            "elapsed_seconds": self.elapsed_seconds,
+            "result": self.result.to_dict() if self.result is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobRecord":
+        result = data.get("result")
+        return cls(
+            kernel=data["kernel"],
+            dataset=data["dataset"],
+            levels=list(data["levels"]),
+            line_size=data["line_size"],
+            status=data["status"],
+            error=data.get("error", ""),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+            result=ModelResult.from_dict(result) if result is not None else None,
+        )
+
+
+@dataclass
+class BatchResult:
+    """Structured outcome of one batch run (job-list order preserved)."""
+
+    records: List[JobRecord] = field(default_factory=list)
+    worker_count: int = 1
+    elapsed_seconds: float = 0.0
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for record in self.records if record.ok)
+
+    @property
+    def error_count(self) -> int:
+        return len(self.records) - self.ok_count
+
+    @property
+    def fallback_count(self) -> int:
+        return sum(1 for record in self.records if record.used_fallback)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(r.result.timing.cardinality_cache_hits for r in self.records if r.result)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(r.result.timing.cardinality_cache_misses for r in self.records if r.result)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def results(self) -> List[Optional[ModelResult]]:
+        """Model results in job order (``None`` for failed jobs)."""
+        return [record.result for record in self.records]
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "worker_count": self.worker_count,
+            "elapsed_seconds": self.elapsed_seconds,
+            "jobs": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "BatchResult":
+        return cls(
+            records=[JobRecord.from_dict(entry) for entry in data.get("jobs", [])],
+            worker_count=data.get("worker_count", 1),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+        )
+
+
+def _execute_job(spec: JobSpec) -> JobRecord:
+    """Worker entry point: run one job, capturing any failure on the record.
+
+    Module-level so it pickles for the pool; must stay side-effect free
+    apart from the returned record.
+    """
+    record = JobRecord(
+        kernel=spec.kernel,
+        dataset=spec.dataset if spec.scop is None else "-",
+        levels=list(spec.levels),
+        line_size=spec.line_size,
+    )
+    start = time.perf_counter()
+    try:
+        if spec.scop is not None:
+            scop = spec.scop
+        else:
+            from ..scop.polybench import build_kernel
+
+            scop = build_kernel(spec.kernel, spec.dataset)
+        machine = MachineModel(
+            line_size=spec.line_size,
+            levels=tuple(
+                CacheLevelSpec(size, f"L{index + 1}") for index, size in enumerate(spec.levels)
+            ),
+        )
+        options = ModelOptions(
+            equalization=spec.equalization,
+            rasterization=spec.rasterization,
+            partial_enumeration=spec.partial_enumeration,
+            fallback_to_simulation=spec.fallback,
+            symbolic_work_budget=spec.symbolic_work_budget,
+            cross_check=spec.cross_check,
+        )
+        record.result = CacheModel(machine, options).analyze(scop)
+    except Exception as exc:  # noqa: BLE001 - error isolation is the contract
+        record.status = "error"
+        record.error = f"{type(exc).__name__}: {exc}"
+    record.elapsed_seconds = time.perf_counter() - start
+    return record
+
+
+def default_worker_count() -> int:
+    """Worker count when the caller does not specify one (capped at 4)."""
+    return max(1, min(4, (os.cpu_count() or 1)))
+
+
+class BatchEngine:
+    """Runs a job matrix across a worker pool with deterministic ordering."""
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError(f"worker count must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, specs: Sequence[JobSpec]) -> BatchResult:
+        start = time.perf_counter()
+        worker_count = min(self.jobs, len(specs)) or 1
+        if worker_count == 1:
+            records = [_execute_job(spec) for spec in specs]
+        else:
+            with multiprocessing.Pool(processes=worker_count) as pool:
+                records = pool.map(_execute_job, specs, chunksize=1)
+        return BatchResult(
+            records=list(records),
+            worker_count=worker_count,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+
+def run_batch(specs: Sequence[JobSpec], jobs: int = 1) -> BatchResult:
+    """Convenience wrapper: ``BatchEngine(jobs).run(specs)``."""
+    return BatchEngine(jobs).run(specs)

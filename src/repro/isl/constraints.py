@@ -25,6 +25,7 @@ from fractions import Fraction
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .qpoly import Div, QPoly, floor_div
+from .work import charge as _charge_work
 
 __all__ = [
     "Constraint",
@@ -500,6 +501,9 @@ def feasible_rational(system: ConstraintSystem, *, max_vars: int = 24) -> bool:
     """
     if system.has_trivially_false():
         return False
+    # Charged before the memo lookup: the unit count then only depends on the
+    # call sequence (deterministic per job), not on cross-job cache warmth.
+    _charge_work()
     cache_key = frozenset((c.kind, c.expr._canonical_items()) for c in system.constraints)
     cached = _FEASIBILITY_CACHE.get(cache_key)
     if cached is not None:

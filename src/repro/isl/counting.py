@@ -19,11 +19,10 @@ explicit enumeration, mirroring the paper's own hybrid counting strategy
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .constraints import (
     Bound,
-    Constraint,
     ConstraintSystem,
     UnboundedSetError,
     bounds_for,
@@ -32,6 +31,7 @@ from .constraints import (
     ge,
 )
 from .qpoly import QPoly
+from .work import charge as _charge_work
 
 __all__ = [
     "CountingError",
@@ -81,6 +81,9 @@ class _CountState:
         return f"{base}__s{self.fresh_counter}"
 
     def count(self, system: ConstraintSystem, count_vars: List[str], poly: QPoly) -> List[Piece]:
+        # One unit per recursion step (chambers, residue classes): the
+        # dominant cost driver of the symbolic counter.
+        _charge_work()
         if system.has_trivially_false():
             return []
         if not feasible_rational(system):

@@ -1,5 +1,6 @@
 """Experiment drivers and table rendering for the paper's evaluation."""
 
+from .batch import format_batch_summary
 from .tables import format_series, format_table, geometric_mean
 
-__all__ = ["format_series", "format_table", "geometric_mean"]
+__all__ = ["format_batch_summary", "format_series", "format_table", "geometric_mean"]

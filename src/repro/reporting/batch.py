@@ -1,0 +1,54 @@
+"""Summary tables for batch-engine runs."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> core -> reporting is absent,
+    # but keep reporting import-light regardless)
+    from ..engine.batch import BatchResult
+
+__all__ = ["format_batch_summary"]
+
+
+def format_batch_summary(batch: "BatchResult") -> str:
+    """One row per job plus a footer with totals and cache statistics."""
+    rows = []
+    for record in batch.records:
+        if record.ok and record.result is not None:
+            result = record.result
+            misses = "/".join(str(level.misses) for level in result.level_results)
+            rows.append(
+                (
+                    record.kernel,
+                    record.dataset,
+                    result.accesses,
+                    misses,
+                    f"{result.miss_ratio():.4f}",
+                    "yes" if result.used_fallback else "no",
+                    f"{result.timing.cardinality_cache_hit_rate:.0%}",
+                    f"{record.elapsed_seconds:.2f}",
+                )
+            )
+        else:
+            rows.append(
+                (record.kernel, record.dataset, "-", "-", "-", "-", "-", f"{record.elapsed_seconds:.2f}")
+            )
+    lines = [
+        format_table(
+            ["kernel", "dataset", "accesses", "misses (L1/..)", "L1 ratio", "fallback", "cache hits", "time [s]"],
+            rows,
+            title=f"batch: {len(batch)} jobs on {batch.worker_count} worker(s)",
+        )
+    ]
+    failures = [record for record in batch.records if not record.ok]
+    for record in failures:
+        lines.append(f"FAILED {record.kernel} ({record.dataset}): {record.error}")
+    lines.append(
+        f"{batch.ok_count}/{len(batch)} jobs ok, {batch.fallback_count} fallback(s), "
+        f"cardinality cache {batch.cache_hits} hits / {batch.cache_misses} misses "
+        f"({batch.cache_hit_rate:.0%}), wall time {batch.elapsed_seconds:.2f}s"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""End-to-end tests of the ``repro-haystack`` command line interface."""
+
+import json
+
+from repro.cli import main
+from repro.core.results import ModelResult
+from repro.engine import BatchResult
+from repro.scop.polybench import kernel_names
+
+#: Tiny symbolic work budget: every PolyBench kernel trips it within a
+#: fraction of a second and degrades to the exact trace fallback, which keeps
+#: the CLI tests fast while exercising the full pipeline.
+FAST = ["--budget", "200"]
+
+
+class TestList:
+    def test_lists_all_kernels(self, capsys):
+        assert main(["list"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert printed == kernel_names()
+
+
+class TestModel:
+    def test_model_prints_table(self, capsys):
+        assert main(["model", "gemm", "--dataset", "mini", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "gemm (mini)" in out
+        assert "L1" in out and "fallback used" in out
+
+    def test_model_no_fallback_fails_cleanly(self, capsys):
+        rc = main(["model", "gemm", "--dataset", "mini", "--no-fallback", *FAST])
+        assert rc == 3
+        assert "fallback is disabled" in capsys.readouterr().err
+
+    def test_model_multi_level(self, capsys):
+        rc = main(["model", "jacobi-1d", "--dataset", "mini", "--l2", "262144", *FAST])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "L2" in out
+
+
+class TestSimulate:
+    def test_simulate_jacobi(self, capsys):
+        assert main(["simulate", "jacobi-1d", "--dataset", "mini"]) == 0
+        out = capsys.readouterr().out
+        assert "trace simulation" in out
+
+
+class TestCompare:
+    def test_compare_agreement_exits_zero(self, capsys):
+        rc = main(["compare", "jacobi-1d", "--dataset", "mini", *FAST])
+        out = capsys.readouterr().out
+        assert "model vs. simulation" in out
+        assert rc == 0
+
+    def test_compare_disagreement_exits_one(self, capsys):
+        # A direct-mapped simulation has conflict misses the fully
+        # associative model cannot predict.
+        rc = main(
+            ["compare", "trisolv", "--dataset", "mini", "--l1", "1024", "--associativity", "1", *FAST]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "difference" in out
+
+
+class TestBatch:
+    KERNELS = "gemm,atax,bicg,mvt,trisolv,jacobi-1d"
+
+    def test_batch_parallel_matches_sequential(self, tmp_path, capsys):
+        sequential_path = tmp_path / "seq.json"
+        parallel_path = tmp_path / "par.json"
+        assert main(
+            ["batch", "--kernels", self.KERNELS, "--jobs", "1", *FAST, "--output", str(sequential_path)]
+        ) == 0
+        assert main(
+            ["batch", "--kernels", self.KERNELS, "--jobs", "4", *FAST, "--output", str(parallel_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch: 6 jobs" in out
+
+        def miss_signature(path):
+            data = json.loads(path.read_text())
+            return [
+                (job["kernel"], job["dataset"], job["result"]["levels"])
+                for job in data["jobs"]
+            ]
+
+        assert miss_signature(parallel_path) == miss_signature(sequential_path)
+
+    def test_batch_json_round_trip(self, tmp_path, capsys):
+        output = tmp_path / "results.json"
+        rc = main(
+            ["batch", "--kernels", "gemm,atax", "--datasets", "mini", "--jobs", "2",
+             "--l2", "262144", *FAST, "--output", str(output)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        data = json.loads(output.read_text())
+        batch = BatchResult.from_dict(data)
+        assert len(batch) == 2 and batch.error_count == 0
+        for record, job in zip(batch.records, data["jobs"]):
+            clone = ModelResult.from_dict(job["result"])
+            assert clone.to_dict() == record.result.to_dict()
+            assert [level.name for level in clone.level_results] == ["L1", "L2"]
+
+    def test_batch_rejects_unknown_kernel(self, capsys):
+        rc = main(["batch", "--kernels", "gemm,nope"])
+        assert rc == 2
+        assert "unknown kernels: nope" in capsys.readouterr().err
+
+    def test_batch_rejects_unknown_dataset(self, capsys):
+        rc = main(["batch", "--kernels", "gemm", "--datasets", "huge"])
+        assert rc == 2
+        assert "unknown datasets: huge" in capsys.readouterr().err
+
+    def test_batch_rejects_disabled_l1(self, capsys):
+        rc = main(["batch", "--kernels", "gemm", "--l1", "0"])
+        assert rc == 2
+        assert "--l1 must be a positive size" in capsys.readouterr().err
+
+    def test_batch_rejects_empty_kernels(self, capsys):
+        rc = main(["batch", "--kernels", ""])
+        assert rc == 2
+        assert "no kernels given" in capsys.readouterr().err
