@@ -305,7 +305,10 @@ def run_models(
     specs = [_job_for(scop, levels, options) for scop in scops]
     missing = [spec for spec in specs if spec.key() not in _RESULTS]
     if missing:
-        batch = BatchEngine(jobs if jobs is not None else default_jobs()).run(missing)
+        # Figure modules share the persistent analysis store when the caller
+        # exports REPRO_STORE_PATH (results survive across pytest sessions).
+        store_path = os.environ.get("REPRO_STORE_PATH", "").strip() or None
+        batch = BatchEngine(jobs if jobs is not None else default_jobs(), store_path=store_path).run(missing)
         for spec, record in zip(missing, batch.records):
             if not record.ok or record.result is None:
                 raise RuntimeError(f"benchmark job {spec.describe()} failed: {record.error}")

@@ -7,6 +7,7 @@ Examples::
     repro-haystack simulate jacobi-1d --dataset mini --l1 32768
     repro-haystack compare trisolv --dataset mini --l1 4096
     repro-haystack batch --kernels gemm,atax,mvt --jobs 4 --output results.json
+    repro-haystack bench --suite smoke --compare
 """
 
 from __future__ import annotations
@@ -14,13 +15,25 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+import tempfile
+from typing import List, Optional, Tuple
 
 from .core import CacheLevelSpec, CacheModel, MachineModel, ModelOptions
 from .core.budget import BudgetExhausted
 from .core.prevmap import ModelFallbackRequired
-from .engine import BatchEngine, expand_matrix
+from .core.results import ModelResult
+from .engine import BatchEngine, JobSpec, expand_matrix
+from .engine.store import AnalysisStore, default_store_path, job_digest
 from .reporting import format_batch_summary, format_table
+from .reporting.bench import (
+    compare_reports,
+    default_baseline_path,
+    format_bench_summary,
+    load_report,
+    run_suite,
+    suite_names,
+    write_report,
+)
 from .scop.polybench import build_kernel, dataset_names, kernel_names
 from .simulator import CacheLevelConfig, DineroSimulator
 
@@ -68,7 +81,7 @@ def _warn_fallback(args, exc: Exception) -> None:
     sys.stderr.flush()
 
 
-def _analyze_for_cli(args, scop):
+def _analyze_for_cli(args, scop, store_path: Optional[str] = None):
     """Symbolic analysis first; on failure warn, then run the exact fallback.
 
     Returns ``(result, exit_code)`` with ``result=None`` when ``--no-fallback``
@@ -76,7 +89,11 @@ def _analyze_for_cli(args, scop):
     """
     model = CacheModel(
         _machine(args),
-        ModelOptions(fallback_to_simulation=False, symbolic_work_budget=_budget_value(args)),
+        ModelOptions(
+            fallback_to_simulation=False,
+            symbolic_work_budget=_budget_value(args),
+            store_path=store_path,
+        ),
     )
     try:
         return model.analyze(scop), 0
@@ -85,7 +102,76 @@ def _analyze_for_cli(args, scop):
             print(f"symbolic analysis failed and fallback is disabled: {exc}", file=sys.stderr)
             return None, 3
         _warn_fallback(args, exc)
-        return model.analyze_by_trace(scop), 0
+        result = model.analyze_by_trace(scop)
+        result.timing.work_units_charged = getattr(exc, "work_units_charged", 0)
+        return result, 0
+
+
+def _store_path(args) -> Optional[str]:
+    """Resolved store root: ``--no-store`` disables, ``--store-path`` overrides."""
+    if args.no_store:
+        return None
+    return args.store_path or default_store_path()
+
+
+def _job_spec_for_args(args) -> JobSpec:
+    """Content-addressed identity of a single ``model``/``compare`` run.
+
+    The level tuple must mirror :func:`_machine` exactly — L1 is always
+    present (even at size 0) while L2/L3 are optional — otherwise distinct
+    hierarchies alias to one store digest and serve each other's results.
+    """
+    levels = [args.l1] + ([args.l2] if args.l2 else []) + ([args.l3] if args.l3 else [])
+    return JobSpec(
+        kernel=args.kernel,
+        dataset=args.dataset,
+        line_size=args.line_size,
+        levels=tuple(levels),
+        fallback=not args.no_fallback,
+        symbolic_work_budget=_budget_value(args),
+    )
+
+
+def _model_result_with_store(args, scop) -> Tuple[Optional[ModelResult], bool, int]:
+    """Analytical result via the persistent store: ``(result, cached, exit_code)``."""
+    path = _store_path(args)
+    store = AnalysisStore(path) if path else None
+    digest = job_digest(_job_spec_for_args(args)) if store is not None else None
+    if store is not None:
+        payload = store.get_result(digest)
+        if payload is not None:
+            try:
+                return ModelResult.from_dict(payload), True, 0
+            except (KeyError, TypeError, ValueError):
+                pass
+    result, exit_code = _analyze_for_cli(args, scop, store_path=path)
+    if result is not None and store is not None:
+        store.put_result(digest, result.to_dict())
+    return result, False, exit_code
+
+
+def _model_stats_line(result: ModelResult, cached: bool, store_enabled: bool) -> str:
+    """Cache/store statistics footer shared by ``model`` and ``compare``.
+
+    Printed unconditionally — in particular the fallback path, whose timing
+    carries zero cache lookups but a real work-unit charge, must not drop it.
+    """
+    timing = result.timing
+    parts = [
+        f"model time: {timing.total_seconds:.2f}s",
+        f"work units: {timing.work_units_charged}",
+        f"cardinality cache {timing.cardinality_cache_hits}/{timing.cardinality_cache_lookups} hits",
+    ]
+    if store_enabled:
+        store_part = f"store {timing.store_hits} hits / {timing.store_misses} misses"
+        if cached:
+            store_part = "result served from store"
+        parts.append(store_part)
+    else:
+        parts.append("store disabled")
+    if result.used_fallback:
+        parts.append("fallback used")
+    return ", ".join(parts)
 
 
 def _machine(args) -> MachineModel:
@@ -124,6 +210,21 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--l3", type=int, default=0, help="L3 size in bytes (0 = disabled)")
 
 
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store-path",
+        metavar="DIR",
+        default=None,
+        help="persistent analysis store root (default: $REPRO_STORE_PATH or "
+        "~/.cache/repro-haystack/store)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the persistent analysis store for this run",
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro-haystack", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -134,6 +235,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_cache_arguments(model_parser)
     model_parser.add_argument("--no-fallback", action="store_true", help="fail instead of falling back to the trace")
     _add_budget_argument(model_parser)
+    _add_store_arguments(model_parser)
 
     sim_parser = subparsers.add_parser("simulate", help="run the trace-driven simulator")
     _add_cache_arguments(sim_parser)
@@ -144,6 +246,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     cmp_parser.add_argument("--associativity", type=int, default=None)
     cmp_parser.add_argument("--no-fallback", action="store_true", help="fail instead of falling back to the trace")
     _add_budget_argument(cmp_parser)
+    _add_store_arguments(cmp_parser)
 
     batch_parser = subparsers.add_parser(
         "batch", help="analyse a kernel x dataset matrix across a worker pool"
@@ -164,6 +267,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     batch_parser.add_argument("--l3", type=int, default=0, help="L3 size in bytes (0 = disabled)")
     batch_parser.add_argument("--no-fallback", action="store_true", help="record an error instead of falling back")
     _add_budget_argument(batch_parser)
+    _add_store_arguments(batch_parser)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run a named benchmark suite and compare against a baseline"
+    )
+    bench_parser.add_argument(
+        "--suite", default="smoke", choices=suite_names(), help="workload suite (default: smoke)"
+    )
+    bench_parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="report path (default: BENCH_<suite>.json in the current directory)",
+    )
+    bench_parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="compare the report against the baseline and exit 4 on regression",
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline report (default: benchmarks/baselines/BENCH_<suite>.json)",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        metavar="FRAC",
+        help="allowed relative rise of wall time and work units (default: 0.2)",
+    )
+    bench_parser.add_argument(
+        "--no-wall",
+        action="store_true",
+        help="skip the wall-clock comparison (deterministic metrics only)",
+    )
+    bench_parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the report to the baseline path instead of comparing",
+    )
+    bench_parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N", help="worker processes")
+    _add_store_arguments(bench_parser)
 
     args = parser.parse_args(argv)
 
@@ -175,6 +322,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "batch":
         return _run_batch(args)
 
+    if args.command == "bench":
+        return _run_bench(args)
+
     if args.kernel not in kernel_names():
         print(
             f"unknown kernel {args.kernel!r}; run `repro-haystack list` for the available kernels",
@@ -183,7 +333,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     scop = build_kernel(args.kernel, args.dataset)
     if args.command == "model":
-        result, exit_code = _analyze_for_cli(args, scop)
+        result, cached, exit_code = _model_result_with_store(args, scop)
         if result is None:
             return exit_code
         rows = [
@@ -192,8 +342,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ]
         print(format_table(["level", "size [B]", "accesses", "compulsory", "capacity", "misses", "hits"], rows,
                            title=f"{scop.name} ({args.dataset}) — analytical model"))
-        print(f"pieces: {result.piece_count}, model time: {result.timing.total_seconds:.2f}s"
-              + (", fallback used" if result.used_fallback else ""))
+        print(f"pieces: {result.piece_count}, " + _model_stats_line(result, cached, not args.no_store))
         return 0
 
     if args.command == "simulate":
@@ -208,7 +357,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "compare":
-        model_result, exit_code = _analyze_for_cli(args, scop)
+        model_result, cached, exit_code = _model_result_with_store(args, scop)
         if model_result is None:
             return exit_code
         sim_result = _simulator(args).run(scop)
@@ -225,6 +374,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if model_result.used_fallback:
             title += " (model used trace fallback)"
         print(format_table(["level", "model misses", "simulated misses", "difference"], rows, title=title))
+        # The statistics footer is printed on every path — the fallback run
+        # in particular must not silently drop its cache/store counters.
+        print(_model_stats_line(model_result, cached, not args.no_store))
         return 1 if disagreement else 0
 
     return 1
@@ -262,7 +414,7 @@ def _run_batch(args) -> int:
         fallback=not args.no_fallback,
         symbolic_work_budget=_budget_value(args),
     )
-    batch = BatchEngine(args.jobs).run(specs)
+    batch = BatchEngine(args.jobs, store_path=_store_path(args)).run(specs)
     print(format_batch_summary(batch))
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -270,6 +422,55 @@ def _run_batch(args) -> int:
             handle.write("\n")
         print(f"wrote {len(batch)} job records to {args.output}")
     return 0 if batch.error_count == 0 else 1
+
+
+def _run_bench(args) -> int:
+    output = args.output or f"BENCH_{args.suite}.json"
+    baseline_path = args.baseline or str(default_baseline_path(args.suite))
+    # Default to a fresh throwaway store so the measurement is a defined
+    # cold run; --store-path measures against existing warmth (that is how
+    # CI exercises the warm-rerun speedup) and --no-store drops the store
+    # entirely.
+    tmp_store = None
+    if args.no_store:
+        store_path = None
+    elif args.store_path:
+        store_path = args.store_path
+    else:
+        tmp_store = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+        store_path = tmp_store.name
+    try:
+        report = run_suite(args.suite, jobs=args.jobs, store_path=store_path)
+    finally:
+        if tmp_store is not None:
+            tmp_store.cleanup()
+    write_report(report, output)
+
+    if args.update_baseline:
+        write_report(report, baseline_path)
+        print(format_bench_summary(report))
+        print(f"wrote report to {output} and refreshed baseline {baseline_path}")
+        return 0
+
+    regressions = None
+    if args.compare:
+        try:
+            baseline = load_report(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(
+                f"cannot load baseline {baseline_path}: {exc} "
+                "(generate one with `repro-haystack bench --update-baseline`)",
+                file=sys.stderr,
+            )
+            return 2
+        regressions = compare_reports(
+            report, baseline, tolerance=args.tolerance, check_wall=not args.no_wall
+        )
+    print(format_bench_summary(report, regressions))
+    print(f"wrote report to {output}")
+    if args.compare:
+        return 4 if regressions else 0
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -60,6 +60,11 @@ class ModelOptions:
     #: budget trips the model falls back to the exact trace computation (or
     #: raises, with ``fallback_to_simulation=False``).
     symbolic_work_budget: Optional[int] = None
+    #: Root of the persistent analysis store
+    #: (:class:`repro.engine.store.AnalysisStore`); ``None`` keeps the
+    #: cardinality cache purely in-memory.  A path (not a store object) so
+    #: options stay picklable — every worker opens its own store handle.
+    store_path: Optional[str] = None
 
     def counter_options(self) -> CounterOptions:
         return CounterOptions(
@@ -87,12 +92,21 @@ class CacheModel:
         failure and budget exhaustion degrade to the trace-based fallback,
         which is exact and flagged on the result.
         """
+        budget = WorkBudget(self.options.symbolic_work_budget)
         try:
-            result = self._analyze_symbolic(scop)
-        except (ModelFallbackRequired, BudgetExhausted):
+            with active_budget(budget):
+                result = self._analyze_symbolic_under_budget(scop, budget)
+        except (ModelFallbackRequired, BudgetExhausted) as exc:
+            # Callers that disable the built-in fallback (the CLI warns the
+            # user before starting the trace) still want the symbolic cost of
+            # the failed attempt.
+            exc.work_units_charged = budget.used
             if not self.options.fallback_to_simulation:
                 raise
             result = self._analyze_by_trace(scop, used_fallback=True)
+            # Record the symbolic work spent before the pipeline gave up, so
+            # bench reports see the true deterministic cost of the attempt.
+            result.timing.work_units_charged = budget.used
         if self.options.cross_check:
             self._cross_check(scop, result)
         return result
@@ -115,6 +129,13 @@ class CacheModel:
         with active_budget(budget):
             return self._analyze_symbolic_under_budget(scop, budget)
 
+    def _make_cardinality_cache(self) -> CardinalityCache:
+        if self.options.store_path:
+            from ..engine.store import AnalysisStore, PersistentCardinalityCache
+
+            return PersistentCardinalityCache(AnalysisStore(self.options.store_path))
+        return CardinalityCache()
+
     def _analyze_symbolic_under_budget(self, scop: Scop, budget: WorkBudget) -> ModelResult:
         line_size = self.machine.line_size
         analysis = StackDistanceAnalysis(scop, line_size=line_size, budget=budget)
@@ -126,7 +147,9 @@ class CacheModel:
         # One memoizing cache per analysis job: repeated first-touch and
         # capacity counts (e.g. the same constant-distance domain counted for
         # every hierarchy level) are served from memory instead of re-derived.
-        cardinality_cache = CardinalityCache()
+        # With a configured store path the cache gains a persistent disk tier
+        # shared across processes and runs.
+        cardinality_cache = self._make_cardinality_cache()
 
         per_access: List[AccessMissCounts] = []
         piece_count = 0
@@ -174,11 +197,16 @@ class CacheModel:
         capacity_seconds = time.perf_counter() - capacity_start
 
         level_results = self._aggregate_levels(per_access, labels)
+        store_stats = getattr(getattr(cardinality_cache, "store", None), "stats", None)
         timing = TimingBreakdown(
             stack_distance_seconds=analysis.elapsed_seconds,
             capacity_seconds=capacity_seconds,
             cardinality_cache_hits=cardinality_cache.stats.hits,
             cardinality_cache_misses=cardinality_cache.stats.misses,
+            store_hits=getattr(cardinality_cache, "store_hits", 0),
+            store_misses=getattr(cardinality_cache, "store_misses", 0),
+            store_invalidations=store_stats.invalidations if store_stats else 0,
+            work_units_charged=budget.used,
         )
         return ModelResult(
             kernel=scop.name,

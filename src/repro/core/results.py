@@ -106,6 +106,14 @@ class TimingBreakdown:
     Also carries the cardinality-cache counters of the run (see
     :class:`repro.engine.cache.CardinalityCache`): how often a first-touch or
     capacity count was served memoized instead of re-derived symbolically.
+    When the run is backed by the persistent analysis store
+    (:class:`repro.engine.store.AnalysisStore`), ``store_hits`` /
+    ``store_misses`` count the disk-tier lookups (memory misses that were
+    served from, or had to populate, the store), and ``store_invalidations``
+    counts entries dropped for belonging to a different code version.
+    ``work_units_charged`` is the deterministic symbolic work consumed (see
+    :class:`repro.isl.work.WorkBudget`) — a machine-independent cost metric
+    the bench harness compares across runs.
     """
 
     stack_distance_seconds: float = 0.0
@@ -113,6 +121,10 @@ class TimingBreakdown:
     other_seconds: float = 0.0
     cardinality_cache_hits: int = 0
     cardinality_cache_misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_invalidations: int = 0
+    work_units_charged: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -127,6 +139,15 @@ class TimingBreakdown:
         lookups = self.cardinality_cache_lookups
         return self.cardinality_cache_hits / lookups if lookups else 0.0
 
+    @property
+    def store_lookups(self) -> int:
+        return self.store_hits + self.store_misses
+
+    @property
+    def store_hit_rate(self) -> float:
+        lookups = self.store_lookups
+        return self.store_hits / lookups if lookups else 0.0
+
     def to_dict(self) -> Dict:
         return {
             "stack_distance_seconds": self.stack_distance_seconds,
@@ -135,6 +156,10 @@ class TimingBreakdown:
             "total_seconds": self.total_seconds,
             "cardinality_cache_hits": self.cardinality_cache_hits,
             "cardinality_cache_misses": self.cardinality_cache_misses,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "store_invalidations": self.store_invalidations,
+            "work_units_charged": self.work_units_charged,
         }
 
     @classmethod
@@ -145,6 +170,10 @@ class TimingBreakdown:
             other_seconds=data.get("other_seconds", 0.0),
             cardinality_cache_hits=data.get("cardinality_cache_hits", 0),
             cardinality_cache_misses=data.get("cardinality_cache_misses", 0),
+            store_hits=data.get("store_hits", 0),
+            store_misses=data.get("store_misses", 0),
+            store_invalidations=data.get("store_invalidations", 0),
+            work_units_charged=data.get("work_units_charged", 0),
         )
 
 

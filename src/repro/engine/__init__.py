@@ -9,7 +9,10 @@ into a throughput-oriented service:
   worker pool with deterministic result ordering and per-job error capture
   (one failed kernel never kills the batch),
 * :mod:`repro.engine.cache` provides the per-job memoizing cardinality cache
-  that the model threads through its first-touch and capacity counts.
+  that the model threads through its first-touch and capacity counts,
+* :mod:`repro.engine.store` adds the persistent, content-addressed disk tier
+  behind both: cardinality counts and whole model results survive across
+  processes and runs, with code-version invalidation and an LRU size cap.
 
 ``repro.core`` imports :mod:`repro.engine.cache` while
 :mod:`repro.engine.batch` imports ``repro.core``; the batch/jobs names are
@@ -21,14 +24,20 @@ from __future__ import annotations
 from .cache import CardinalityCache, CardinalityCacheStats
 
 __all__ = [
+    "AnalysisStore",
     "BatchEngine",
     "BatchResult",
     "CardinalityCache",
     "CardinalityCacheStats",
     "JobRecord",
     "JobSpec",
+    "PersistentCardinalityCache",
+    "StoreStats",
+    "default_store_path",
     "expand_matrix",
+    "job_digest",
     "run_batch",
+    "stable_digest",
 ]
 
 _LAZY = {
@@ -38,6 +47,12 @@ _LAZY = {
     "run_batch": "batch",
     "JobSpec": "jobs",
     "expand_matrix": "jobs",
+    "AnalysisStore": "store",
+    "PersistentCardinalityCache": "store",
+    "StoreStats": "store",
+    "default_store_path": "store",
+    "job_digest": "store",
+    "stable_digest": "store",
 }
 
 

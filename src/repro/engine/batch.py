@@ -12,6 +12,15 @@ records and runs them either inline (``jobs=1``) or across a
 * **per-job caching** — every job runs with a fresh
   :class:`~repro.engine.cache.CardinalityCache` whose hit/miss statistics
   travel back in the result's :class:`~repro.core.results.TimingBreakdown`.
+
+With a configured :class:`~repro.engine.store.AnalysisStore` path the engine
+is additionally **incremental**: before dispatching, every job's
+content-addressed digest (:func:`~repro.engine.store.job_digest`) is looked
+up in the store, hits become cached :class:`JobRecord` entries without
+touching the pool, and only the misses are computed (their results are
+written back for the next run).  Workers open their own store handle for the
+persistent cardinality tier, so even a cold job benefits from counts derived
+by earlier runs or sibling workers.
 """
 
 from __future__ import annotations
@@ -20,16 +29,17 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import CacheLevelSpec, CacheModel, MachineModel, ModelOptions
 from ..core.results import ModelResult
 from .jobs import JobSpec
+from .store import AnalysisStore, job_digest
 
 __all__ = ["BatchEngine", "BatchResult", "JobRecord", "run_batch"]
 
 #: JSON schema version of the serialized batch payload.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -44,6 +54,9 @@ class JobRecord:
     error: str = ""
     elapsed_seconds: float = 0.0
     result: Optional[ModelResult] = None
+    #: True when the result was served from the persistent analysis store
+    #: instead of being computed by this run.
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -62,6 +75,7 @@ class JobRecord:
             "status": self.status,
             "error": self.error,
             "elapsed_seconds": self.elapsed_seconds,
+            "cached": self.cached,
             "result": self.result.to_dict() if self.result is not None else None,
         }
 
@@ -76,6 +90,7 @@ class JobRecord:
             status=data["status"],
             error=data.get("error", ""),
             elapsed_seconds=data.get("elapsed_seconds", 0.0),
+            cached=data.get("cached", False),
             result=ModelResult.from_dict(result) if result is not None else None,
         )
 
@@ -87,6 +102,9 @@ class BatchResult:
     records: List[JobRecord] = field(default_factory=list)
     worker_count: int = 1
     elapsed_seconds: float = 0.0
+    #: Result-store counters of this run (``AnalysisStore.stats.as_dict()``)
+    #: or ``None`` when the engine ran store-less.
+    store_stats: Optional[Dict[str, int]] = None
 
     def __iter__(self):
         return iter(self.records)
@@ -108,16 +126,44 @@ class BatchResult:
 
     @property
     def cache_hits(self) -> int:
-        return sum(r.result.timing.cardinality_cache_hits for r in self.records if r.result)
+        """Cardinality-cache hits of the work *this run* performed.
+
+        Records served whole from the result store carry the counters of the
+        run that originally computed them; summing those here would attribute
+        historical traffic to this run, so cached records are excluded (the
+        same holds for the other aggregate counters below).
+        """
+        return sum(
+            r.result.timing.cardinality_cache_hits for r in self.records if r.result and not r.cached
+        )
 
     @property
     def cache_misses(self) -> int:
-        return sum(r.result.timing.cardinality_cache_misses for r in self.records if r.result)
+        return sum(
+            r.result.timing.cardinality_cache_misses for r in self.records if r.result and not r.cached
+        )
 
     @property
     def cache_hit_rate(self) -> float:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def cached_count(self) -> int:
+        """Jobs served whole from the persistent result store."""
+        return sum(1 for record in self.records if record.cached)
+
+    @property
+    def cardinality_store_hits(self) -> int:
+        return sum(
+            r.result.timing.store_hits for r in self.records if r.result and not r.cached
+        )
+
+    @property
+    def cardinality_store_misses(self) -> int:
+        return sum(
+            r.result.timing.store_misses for r in self.records if r.result and not r.cached
+        )
 
     def results(self) -> List[Optional[ModelResult]]:
         """Model results in job order (``None`` for failed jobs)."""
@@ -128,30 +174,40 @@ class BatchResult:
             "schema_version": SCHEMA_VERSION,
             "worker_count": self.worker_count,
             "elapsed_seconds": self.elapsed_seconds,
+            "store_stats": dict(self.store_stats) if self.store_stats is not None else None,
             "jobs": [record.to_dict() for record in self.records],
         }
 
     @classmethod
     def from_dict(cls, data: Dict) -> "BatchResult":
+        store_stats = data.get("store_stats")
         return cls(
             records=[JobRecord.from_dict(entry) for entry in data.get("jobs", [])],
             worker_count=data.get("worker_count", 1),
             elapsed_seconds=data.get("elapsed_seconds", 0.0),
+            store_stats=dict(store_stats) if store_stats is not None else None,
         )
 
 
-def _execute_job(spec: JobSpec) -> JobRecord:
-    """Worker entry point: run one job, capturing any failure on the record.
-
-    Module-level so it pickles for the pool; must stay side-effect free
-    apart from the returned record.
-    """
-    record = JobRecord(
+def _blank_record(spec: JobSpec) -> JobRecord:
+    return JobRecord(
         kernel=spec.kernel,
         dataset=spec.dataset if spec.scop is None else "-",
         levels=list(spec.levels),
         line_size=spec.line_size,
     )
+
+
+def _execute_job(payload: Tuple[JobSpec, Optional[str]]) -> JobRecord:
+    """Worker entry point: run one job, capturing any failure on the record.
+
+    Module-level so it pickles for the pool; must stay side-effect free
+    apart from the returned record (and the shared analysis store, whose
+    writes are atomic and idempotent).  The store path travels alongside the
+    spec — it configures the run but is not part of the job's identity.
+    """
+    spec, store_path = payload
+    record = _blank_record(spec)
     start = time.perf_counter()
     try:
         if spec.scop is not None:
@@ -173,6 +229,7 @@ def _execute_job(spec: JobSpec) -> JobRecord:
             fallback_to_simulation=spec.fallback,
             symbolic_work_budget=spec.symbolic_work_budget,
             cross_check=spec.cross_check,
+            store_path=store_path,
         )
         record.result = CacheModel(machine, options).analyze(scop)
     except Exception as exc:  # noqa: BLE001 - error isolation is the contract
@@ -188,28 +245,69 @@ def default_worker_count() -> int:
 
 
 class BatchEngine:
-    """Runs a job matrix across a worker pool with deterministic ordering."""
+    """Runs a job matrix across a worker pool with deterministic ordering.
 
-    def __init__(self, jobs: int = 1) -> None:
+    With ``store_path`` set, runs are incremental: jobs whose digest is
+    already in the persistent store come back as ``cached`` records and only
+    the misses are dispatched to the pool.
+    """
+
+    def __init__(self, jobs: int = 1, store_path: Optional[str] = None) -> None:
         if jobs < 1:
             raise ValueError(f"worker count must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.store_path = store_path
 
     def run(self, specs: Sequence[JobSpec]) -> BatchResult:
         start = time.perf_counter()
-        worker_count = min(self.jobs, len(specs)) or 1
+        store = AnalysisStore(self.store_path) if self.store_path else None
+        records: List[Optional[JobRecord]] = [None] * len(specs)
+        digests: List[Optional[str]] = [None] * len(specs)
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            if store is None:
+                pending.append(index)
+                continue
+            digests[index] = job_digest(spec)
+            payload = store.get_result(digests[index])
+            record = _record_from_store(spec, payload) if payload is not None else None
+            if record is None:
+                pending.append(index)
+            else:
+                records[index] = record
+        worker_count = min(self.jobs, len(pending)) or 1
+        payloads = [(specs[index], self.store_path) for index in pending]
         if worker_count == 1:
-            records = [_execute_job(spec) for spec in specs]
+            computed = [_execute_job(payload) for payload in payloads]
         else:
             with multiprocessing.Pool(processes=worker_count) as pool:
-                records = pool.map(_execute_job, specs, chunksize=1)
+                computed = pool.map(_execute_job, payloads, chunksize=1)
+        for index, record in zip(pending, computed):
+            records[index] = record
+            if store is not None and record.ok and record.result is not None:
+                store.put_result(digests[index], record.result.to_dict())
         return BatchResult(
-            records=list(records),
+            records=[record for record in records if record is not None],
             worker_count=worker_count,
             elapsed_seconds=time.perf_counter() - start,
+            store_stats=store.stats.as_dict() if store is not None else None,
         )
 
 
-def run_batch(specs: Sequence[JobSpec], jobs: int = 1) -> BatchResult:
-    """Convenience wrapper: ``BatchEngine(jobs).run(specs)``."""
-    return BatchEngine(jobs).run(specs)
+def _record_from_store(spec: JobSpec, payload: Dict) -> Optional[JobRecord]:
+    """Cached JobRecord from a persisted result payload (None if undecodable)."""
+    try:
+        result = ModelResult.from_dict(payload)
+    except (KeyError, TypeError, ValueError):
+        return None
+    record = _blank_record(spec)
+    record.result = result
+    record.cached = True
+    return record
+
+
+def run_batch(
+    specs: Sequence[JobSpec], jobs: int = 1, store_path: Optional[str] = None
+) -> BatchResult:
+    """Convenience wrapper: ``BatchEngine(jobs, store_path).run(specs)``."""
+    return BatchEngine(jobs, store_path).run(specs)

@@ -1,0 +1,406 @@
+"""Disk-backed, content-addressed store for analysis results.
+
+The in-memory :class:`~repro.engine.cache.CardinalityCache` removes repeated
+work *within* one analysis job; this module removes it *across* processes and
+runs.  An :class:`AnalysisStore` persists two kinds of entries under one
+directory tree:
+
+* ``cardinality`` — integer point counts, keyed by the canonical form of the
+  counting problem (the same key the in-memory cache uses);
+* ``result`` — whole serialized :class:`~repro.core.results.ModelResult`
+  payloads, keyed by :func:`job_digest` over the full
+  :meth:`~repro.engine.jobs.JobSpec.key` identity.
+
+Both key families are hashed with :func:`stable_digest`, a canonical JSON
+serialization that is stable across processes (frozensets are sorted, so
+``PYTHONHASHSEED`` randomization cannot perturb the digest).  Every entry
+records the :func:`code_version` that produced it; a version mismatch on read
+deletes the entry and counts as an *invalidation*, so upgrading the analysis
+code transparently recomputes instead of serving stale counts.
+
+Concurrency: the layout is append-friendly.  Writers create a temporary file
+in the destination directory and publish it with ``os.replace`` (atomic on
+POSIX), so a reader never observes a half-written entry; concurrent writers
+of the same key simply race to publish identical content.  Readers treat
+missing, truncated, or otherwise corrupt entries as misses and delete the
+corpse.  This makes the store safe under the batch engine's multiprocessing
+pool without any locking.
+
+Size is bounded by an LRU cap (:attr:`AnalysisStore.max_bytes`): reads bump
+the entry mtime, and writers periodically evict the stalest entries once the
+tree exceeds the cap.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from fractions import Fraction
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from ..isl.constraints import ConstraintSystem
+from ..isl.qpoly import Div, QPoly
+from .cache import CardinalityCache, canonical_key
+
+__all__ = [
+    "AnalysisStore",
+    "PersistentCardinalityCache",
+    "StoreStats",
+    "cardinality_digest",
+    "code_version",
+    "default_store_path",
+    "job_digest",
+    "stable_digest",
+]
+
+#: On-disk schema version of store entries (bump on incompatible layout change).
+ENTRY_SCHEMA = 1
+
+#: Default LRU size cap: 256 MiB of JSON entries.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Environment overrides honoured by :func:`default_store_path` and the CLI.
+STORE_PATH_ENV = "REPRO_STORE_PATH"
+STORE_MAX_BYTES_ENV = "REPRO_STORE_MAX_BYTES"
+
+
+def default_store_path() -> str:
+    """Store location: ``$REPRO_STORE_PATH`` or ``~/.cache/repro-haystack/store``."""
+    env = os.environ.get(STORE_PATH_ENV, "").strip()
+    if env:
+        return env
+    return str(Path.home() / ".cache" / "repro-haystack" / "store")
+
+
+def _canonical(value):
+    """Recursively rewrite ``value`` into a JSON-stable canonical form.
+
+    Frozensets (used for order-insensitive constraint sets) are sorted by
+    their serialized form so the digest does not depend on hash-based
+    iteration order; Fractions keep exactness as a tagged pair.  The symbolic
+    value types that appear inside job identities — quasi-polynomials (access
+    index expressions) and floor-division symbols — canonicalize through
+    their own canonical item tuples.
+    """
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, Fraction):
+        return ["F", value.numerator, value.denominator]
+    if isinstance(value, float):
+        return ["f", repr(value)]
+    if isinstance(value, QPoly):
+        return ["Q", _canonical(value._canonical_items())]
+    if isinstance(value, Div):
+        return ["V", _canonical(value.items), value.denominator]
+    if isinstance(value, (tuple, list)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (frozenset, set)):
+        items = [_canonical(item) for item in value]
+        return ["S", sorted(items, key=lambda item: json.dumps(item, separators=(",", ":")))]
+    if isinstance(value, dict):
+        return ["D", sorted((_canonical(k), _canonical(v)) for k, v in value.items())]
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for hashing: {value!r}")
+
+
+def stable_digest(value) -> str:
+    """Process-stable SHA-256 hex digest of an arbitrary key structure."""
+    payload = json.dumps(_canonical(value), separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cardinality_digest(system: ConstraintSystem, count_vars: Sequence[str]) -> str:
+    """Digest of one counting problem (same canonical form as the memo cache)."""
+    return stable_digest(canonical_key(system, count_vars))
+
+
+def job_digest(spec) -> str:
+    """Digest of one analysis job's full :meth:`~repro.engine.jobs.JobSpec.key`."""
+    return stable_digest(spec.key())
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of the installed ``repro`` sources (the store's invalidation key).
+
+    Any change to the package — model, counting substrate, kernels — yields a
+    new version, so persisted counts can never outlive the code that derived
+    them.  Hashing the sources (rather than trusting the package version
+    string) keeps development trees honest.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class StoreStats:
+    """Counters of one :class:`AnalysisStore` instance (per process)."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Entries discarded on read: stale code version or corrupt payload.
+    invalidations: int = 0
+    writes: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "StoreStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.invalidations += other.invalidations
+        self.writes += other.writes
+        self.evictions += other.evictions
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "writes": self.writes,
+            "evictions": self.evictions,
+        }
+
+
+class AnalysisStore:
+    """Content-addressed JSON entries under ``root/<namespace>/<aa>/<digest>.json``.
+
+    The two-level fan-out keeps directories small for large stores; the
+    namespace separates cardinality entries from whole-result entries so the
+    LRU sweep and wipe tooling can treat them uniformly.
+    """
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        *,
+        max_bytes: Optional[int] = None,
+        version: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root) if root else Path(default_store_path())
+        if max_bytes is None:
+            env = os.environ.get(STORE_MAX_BYTES_ENV, "").strip()
+            max_bytes = int(env) if env else DEFAULT_MAX_BYTES
+        if max_bytes <= 0:
+            raise ValueError(f"store size cap must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.version = version if version is not None else code_version()
+        self.stats = StoreStats()
+        # Incremental size estimate: one tree walk when this instance first
+        # writes, then each write adds its own size.  Eviction (and its full
+        # walk) only happens when the estimate crosses the cap, so steady
+        # writing far below the cap never re-scans the tree.
+        self._approx_bytes: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Generic entry access
+    # ------------------------------------------------------------------
+    def _entry_path(self, namespace: str, digest: str) -> Path:
+        return self.root / namespace / digest[:2] / f"{digest}.json"
+
+    def get(self, namespace: str, digest: str):
+        """Payload stored under ``digest``, or ``None`` on miss.
+
+        Version-stale and corrupt entries are deleted and counted as
+        invalidations (plus the miss the caller observes).
+        """
+        path = self._entry_path(namespace, digest)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry["schema"] != ENTRY_SCHEMA or entry["version"] != self.version:
+                raise _StaleEntry()
+            payload = entry["payload"]
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError, _StaleEntry):
+            # Truncated JSON, unreadable file, or a different code version:
+            # drop the entry so the next write repopulates it.
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            _unlink_quietly(path)
+            return None
+        self.stats.hits += 1
+        _touch_quietly(path)
+        return payload
+
+    def put(self, namespace: str, digest: str, payload) -> None:
+        """Atomically publish ``payload`` under ``digest``; never raises on I/O.
+
+        The store is an accelerator: a failed write (read-only tree, disk
+        full) must not fail the analysis that produced the payload.
+        """
+        path = self._entry_path(namespace, digest)
+        text = json.dumps(
+            {"schema": ENTRY_SCHEMA, "version": self.version, "payload": payload},
+            separators=(",", ":"),
+        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                os.replace(tmp_name, path)
+            except BaseException:
+                _unlink_quietly(Path(tmp_name))
+                raise
+        except OSError:
+            return
+        self.stats.writes += 1
+        if self._approx_bytes is None:
+            self._approx_bytes = self.size_bytes()
+        else:
+            self._approx_bytes += len(text)
+        if self._approx_bytes > self.max_bytes:
+            self._evict_lru()
+
+    # ------------------------------------------------------------------
+    # Typed helpers
+    # ------------------------------------------------------------------
+    def get_cardinality(self, digest: str) -> Optional[int]:
+        payload = self.get("cardinality", digest)
+        return payload if isinstance(payload, int) else None
+
+    def put_cardinality(self, digest: str, value: int) -> None:
+        self.put("cardinality", digest, value)
+
+    def get_result(self, digest: str) -> Optional[Dict]:
+        payload = self.get("result", digest)
+        return payload if isinstance(payload, dict) else None
+
+    def put_result(self, digest: str, payload: Dict) -> None:
+        self.put("result", digest, payload)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _entries(self):
+        for namespace_dir in self.root.iterdir() if self.root.is_dir() else ():
+            if not namespace_dir.is_dir():
+                continue
+            for shard in namespace_dir.iterdir():
+                if not shard.is_dir():
+                    continue
+                for path in shard.iterdir():
+                    if path.suffix == ".json":
+                        yield path
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def _evict_lru(self) -> None:
+        """Delete stalest entries (by mtime; reads refresh it) until under cap."""
+        entries = []
+        total = 0
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total > self.max_bytes:
+            entries.sort(key=lambda item: (item[0], str(item[2])))
+            for _mtime, size, path in entries:
+                if total <= self.max_bytes:
+                    break
+                _unlink_quietly(path)
+                total -= size
+                self.stats.evictions += 1
+        self._approx_bytes = total
+
+    def wipe(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entries():
+            _unlink_quietly(path)
+            removed += 1
+        self._approx_bytes = 0
+        return removed
+
+
+class _StaleEntry(Exception):
+    """Internal: entry exists but belongs to a different code version."""
+
+
+def _unlink_quietly(path: Path) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def _touch_quietly(path: Path) -> None:
+    try:
+        os.utime(path)
+    except OSError:
+        pass
+
+
+class PersistentCardinalityCache(CardinalityCache):
+    """Two-tier cardinality cache: in-memory memo backed by an on-disk store.
+
+    Lookup order is memory, then disk, then the symbolic counter; computed
+    counts are written through to both tiers.  Memory hit/miss statistics
+    keep their in-memory meaning (so
+    :attr:`~repro.core.results.TimingBreakdown.cardinality_cache_hits` stays
+    comparable across store configurations); disk traffic is reported
+    separately via :attr:`store_hits` / :attr:`store_misses`.
+    """
+
+    def __init__(self, store: AnalysisStore) -> None:
+        super().__init__()
+        self.store = store
+        self.store_hits = 0
+        self.store_misses = 0
+
+    def cardinality(self, system: ConstraintSystem, count_vars: Sequence[str]) -> int:
+        key = canonical_key(system, count_vars)
+        try:
+            value = self._store[key]
+        except KeyError:
+            pass
+        else:
+            self.stats.hits += 1
+            return value
+        self.stats.misses += 1
+        digest = stable_digest(key)
+        persisted = self.store.get_cardinality(digest)
+        if persisted is not None:
+            self.store_hits += 1
+            self._store[key] = persisted
+            return persisted
+        self.store_misses += 1
+        from ..isl.counting import cardinality as _cardinality
+
+        value = _cardinality(system, count_vars)
+        self._store[key] = value
+        self.store.put_cardinality(digest, value)
+        return value

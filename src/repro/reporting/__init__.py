@@ -1,6 +1,16 @@
 """Experiment drivers and table rendering for the paper's evaluation."""
 
 from .batch import format_batch_summary
+from .bench import compare_reports, format_bench_summary, run_suite, suite_names
 from .tables import format_series, format_table, geometric_mean
 
-__all__ = ["format_batch_summary", "format_series", "format_table", "geometric_mean"]
+__all__ = [
+    "compare_reports",
+    "format_batch_summary",
+    "format_bench_summary",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "run_suite",
+    "suite_names",
+]

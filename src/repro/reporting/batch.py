@@ -28,17 +28,18 @@ def format_batch_summary(batch: "BatchResult") -> str:
                     misses,
                     f"{result.miss_ratio():.4f}",
                     "yes" if result.used_fallback else "no",
+                    "store" if record.cached else "-",
                     f"{result.timing.cardinality_cache_hit_rate:.0%}",
                     f"{record.elapsed_seconds:.2f}",
                 )
             )
         else:
             rows.append(
-                (record.kernel, record.dataset, "-", "-", "-", "-", "-", f"{record.elapsed_seconds:.2f}")
+                (record.kernel, record.dataset, "-", "-", "-", "-", "-", "-", f"{record.elapsed_seconds:.2f}")
             )
     lines = [
         format_table(
-            ["kernel", "dataset", "accesses", "misses (L1/..)", "L1 ratio", "fallback", "cache hits", "time [s]"],
+            ["kernel", "dataset", "accesses", "misses (L1/..)", "L1 ratio", "fallback", "source", "cache hits", "time [s]"],
             rows,
             title=f"batch: {len(batch)} jobs on {batch.worker_count} worker(s)",
         )
@@ -51,4 +52,12 @@ def format_batch_summary(batch: "BatchResult") -> str:
         f"cardinality cache {batch.cache_hits} hits / {batch.cache_misses} misses "
         f"({batch.cache_hit_rate:.0%}), wall time {batch.elapsed_seconds:.2f}s"
     )
+    if batch.store_stats is not None:
+        stats = batch.store_stats
+        lines.append(
+            f"store: {batch.cached_count}/{len(batch)} results served from store, "
+            f"cardinality tier {batch.cardinality_store_hits} hits / "
+            f"{batch.cardinality_store_misses} misses, "
+            f"{stats.get('invalidations', 0)} invalidation(s), {stats.get('writes', 0)} write(s)"
+        )
     return "\n".join(lines)

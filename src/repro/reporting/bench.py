@@ -1,0 +1,304 @@
+"""Benchmark regression harness: named suites, reports, baseline comparison.
+
+``repro-haystack bench`` runs a *named workload suite* through the batch
+engine and emits a machine-readable ``BENCH_<suite>.json`` report: wall
+time, per-job phase breakdown, cardinality-cache and store traffic, and the
+deterministic symbolic work charged by each job.  A report can be compared
+against a committed baseline with a configurable tolerance; the comparison
+exits non-zero on regression, which is how CI holds the line on the model's
+speed and accuracy claims.
+
+Two metric families with different trust levels:
+
+* **deterministic** — miss counts (the model is exact, so *any* change is an
+  accuracy regression) and symbolic work units (machine-independent cost;
+  compared with the tolerance);
+* **wall clock** — noisy and machine-dependent.  Every report therefore
+  includes a ``calibration_seconds`` measurement of a fixed symbolic
+  workload taken on the same machine at the same time; wall-time comparison
+  uses the *calibration-normalized* ratio, so a baseline recorded on a fast
+  laptop still compares meaningfully on a slow CI runner.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..engine import BatchEngine, expand_matrix
+
+__all__ = [
+    "SUITES",
+    "compare_reports",
+    "default_baseline_path",
+    "load_report",
+    "run_suite",
+    "suite_names",
+    "write_report",
+]
+
+#: Schema version of the ``BENCH_*.json`` payload.
+BENCH_SCHEMA = 1
+
+#: Named workload suites: kernels x datasets analysed under a deterministic
+#: work budget.  ``smoke`` finishes in seconds (CI gate); ``full`` covers
+#: the whole PolyBench registry for offline trend tracking.
+SUITES: Dict[str, Dict] = {
+    "smoke": {
+        "kernels": ["gemm", "atax", "bicg", "mvt", "trisolv", "jacobi-1d"],
+        "datasets": ["mini"],
+        "levels": [(32 * 1024, 256 * 1024)],
+        "budget": 2_000,
+    },
+    "full": {
+        "kernels": "all",
+        "datasets": ["mini"],
+        "levels": [(32 * 1024, 256 * 1024)],
+        "budget": 10_000,
+    },
+}
+
+
+def suite_names() -> List[str]:
+    return sorted(SUITES)
+
+
+def default_baseline_path(suite: str) -> Path:
+    """Committed baseline location (relative to the repository root / cwd)."""
+    return Path("benchmarks") / "baselines" / f"BENCH_{suite}.json"
+
+
+#: Repetitions of the calibration workload (one analysis is a few ms; the sum
+#: is long enough that timer noise stays well under the comparison tolerance).
+_CALIBRATION_ROUNDS = 50
+
+
+def _calibrate() -> float:
+    """Seconds for a fixed symbolic workload on this machine, right now.
+
+    The workload is deterministic (same kernel, same machine model, no
+    store), so the measurement tracks machine speed only.  Reports carry it
+    so wall-time comparisons can be normalized across machines.  One warm-up
+    run is excluded, then a fixed number of fresh analyses are timed.
+    """
+    from ..core import CacheLevelSpec, CacheModel, MachineModel
+    from ..scop import ScopBuilder
+
+    builder = ScopBuilder("calibration", context={"N": 10, "M": 9}, element_size=64)
+    A = builder.array("A", (10, 9))
+    B = builder.array("B", (9, 10))
+    with builder.loop("i", 0, 10):
+        with builder.loop("j", 0, 9):
+            builder.stmt(reads=[A[builder.v("i"), builder.v("j")]], writes=[B[builder.v("j"), builder.v("i")]])
+    scop = builder.build()
+    machine = MachineModel(
+        line_size=64, levels=(CacheLevelSpec(1024, "L1"), CacheLevelSpec(8192, "L2"))
+    )
+    CacheModel(machine).analyze(scop)
+    start = time.perf_counter()
+    for _ in range(_CALIBRATION_ROUNDS):
+        CacheModel(machine).analyze(scop)
+    return time.perf_counter() - start
+
+
+def run_suite(
+    suite: str,
+    *,
+    jobs: int = 1,
+    store_path: Optional[str] = None,
+) -> Dict:
+    """Run one named suite and return the ``BENCH_*.json`` report payload."""
+    try:
+        config = SUITES[suite]
+    except KeyError:
+        raise ValueError(f"unknown bench suite {suite!r}; available: {', '.join(suite_names())}") from None
+    from ..scop.polybench import kernel_names
+
+    kernels = kernel_names() if config["kernels"] == "all" else list(config["kernels"])
+    specs = expand_matrix(
+        kernels,
+        list(config["datasets"]),
+        [tuple(levels) for levels in config["levels"]],
+        symbolic_work_budget=config["budget"],
+    )
+    calibration = _calibrate()
+    batch = BatchEngine(jobs, store_path=store_path).run(specs)
+
+    job_entries = []
+    for record in batch.records:
+        entry = {
+            "kernel": record.kernel,
+            "dataset": record.dataset,
+            "levels": list(record.levels),
+            "status": record.status,
+            "cached": record.cached,
+            "elapsed_seconds": record.elapsed_seconds,
+        }
+        if record.result is not None:
+            timing = record.result.timing
+            entry.update(
+                {
+                    "accesses": record.result.accesses,
+                    "misses": [level.misses for level in record.result.level_results],
+                    "used_fallback": record.result.used_fallback,
+                    "work_units": timing.work_units_charged,
+                    "cache_hits": timing.cardinality_cache_hits,
+                    "cache_misses": timing.cardinality_cache_misses,
+                    "store_hits": timing.store_hits,
+                    "store_misses": timing.store_misses,
+                    "phases": {
+                        "stack_distance_seconds": timing.stack_distance_seconds,
+                        "capacity_seconds": timing.capacity_seconds,
+                        "other_seconds": timing.other_seconds,
+                    },
+                }
+            )
+        job_entries.append(entry)
+
+    # Totals describe the compute of THIS run: records served whole from the
+    # store replay the counters of the run that originally computed them, so
+    # they are excluded here (per-job entries keep them, flagged ``cached``).
+    computed = [r.result for r in batch.records if r.result is not None and not r.cached]
+    report = {
+        "schema_version": BENCH_SCHEMA,
+        "suite": suite,
+        "wall_seconds": batch.elapsed_seconds,
+        "calibration_seconds": calibration,
+        "worker_count": batch.worker_count,
+        "jobs": job_entries,
+        "totals": {
+            "jobs": len(batch),
+            "errors": batch.error_count,
+            "cached": batch.cached_count,
+            "fallbacks": batch.fallback_count,
+            "work_units": sum(r.timing.work_units_charged for r in computed),
+            "cache_hits": batch.cache_hits,
+            "cache_misses": batch.cache_misses,
+            "store_hits": batch.cardinality_store_hits,
+            "store_misses": batch.cardinality_store_misses,
+        },
+        "store": dict(batch.store_stats) if batch.store_stats is not None else None,
+    }
+    return report
+
+
+def write_report(report: Dict, path) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _job_key(entry: Dict):
+    return (entry["kernel"], entry["dataset"], tuple(entry["levels"]))
+
+
+def _normalized_wall(report: Dict) -> Optional[float]:
+    calibration = report.get("calibration_seconds") or 0.0
+    wall = report.get("wall_seconds")
+    if not calibration or wall is None:
+        return None
+    return wall / calibration
+
+
+def compare_reports(
+    current: Dict,
+    baseline: Dict,
+    *,
+    tolerance: float = 0.2,
+    check_wall: bool = True,
+) -> List[str]:
+    """Regressions of ``current`` against ``baseline`` (empty list = clean).
+
+    * any job error, missing job, or miss-count change is an **accuracy**
+      regression (the model is exact — there is no tolerance on counts);
+    * total symbolic work units beyond ``baseline * (1 + tolerance)`` is a
+      deterministic **performance** regression;
+    * calibration-normalized wall time beyond the same factor is a wall-clock
+      regression (skipped with ``check_wall=False`` or when either report
+      lacks a calibration measurement).
+    """
+    regressions: List[str] = []
+    if current.get("suite") != baseline.get("suite"):
+        regressions.append(
+            f"suite mismatch: current={current.get('suite')!r} baseline={baseline.get('suite')!r}"
+        )
+        return regressions
+
+    current_jobs = {_job_key(entry): entry for entry in current.get("jobs", [])}
+    baseline_keys = {_job_key(entry) for entry in baseline.get("jobs", [])}
+    # Jobs the baseline does not know about (e.g. a kernel added to the suite
+    # before the baseline was refreshed) still must not error.
+    for key, entry in current_jobs.items():
+        if key not in baseline_keys and entry.get("status") != "ok":
+            regressions.append(
+                f"accuracy: job {key[0]}/{key[1]} (not in baseline) fails ({entry.get('status')})"
+            )
+    for entry in baseline.get("jobs", []):
+        key = _job_key(entry)
+        label = f"{key[0]}/{key[1]}"
+        now = current_jobs.get(key)
+        if now is None:
+            regressions.append(f"accuracy: job {label} missing from current report")
+            continue
+        if entry.get("status") == "ok" and now.get("status") != "ok":
+            regressions.append(f"accuracy: job {label} now fails ({now.get('status')})")
+            continue
+        if entry.get("status") != "ok":
+            continue
+        if entry.get("misses") != now.get("misses") or entry.get("accesses") != now.get("accesses"):
+            regressions.append(
+                f"accuracy: job {label} miss counts changed "
+                f"(baseline {entry.get('misses')} @ {entry.get('accesses')} accesses, "
+                f"current {now.get('misses')} @ {now.get('accesses')})"
+            )
+
+    baseline_work = baseline.get("totals", {}).get("work_units", 0)
+    current_work = current.get("totals", {}).get("work_units", 0)
+    if baseline_work and current_work > baseline_work * (1.0 + tolerance):
+        regressions.append(
+            f"performance: symbolic work units rose {baseline_work} -> {current_work} "
+            f"(> {tolerance:.0%} over baseline)"
+        )
+
+    if check_wall:
+        baseline_norm = _normalized_wall(baseline)
+        current_norm = _normalized_wall(current)
+        if baseline_norm and current_norm and current_norm > baseline_norm * (1.0 + tolerance):
+            regressions.append(
+                "performance: calibration-normalized wall time rose "
+                f"{baseline_norm:.2f}x -> {current_norm:.2f}x calibration "
+                f"(> {tolerance:.0%} over baseline; raw {baseline.get('wall_seconds', 0):.2f}s -> "
+                f"{current.get('wall_seconds', 0):.2f}s)"
+            )
+    return regressions
+
+
+def format_bench_summary(report: Dict, regressions: Optional[Sequence[str]] = None) -> str:
+    """Human-readable one-screen summary of a bench report."""
+    totals = report.get("totals", {})
+    lines = [
+        f"bench suite {report.get('suite')!r}: {totals.get('jobs', 0)} jobs, "
+        f"{totals.get('errors', 0)} errors, {totals.get('cached', 0)} served from store, "
+        f"{totals.get('fallbacks', 0)} fallbacks",
+        f"wall {report.get('wall_seconds', 0.0):.2f}s "
+        f"(calibration {report.get('calibration_seconds', 0.0):.3f}s), "
+        f"work units {totals.get('work_units', 0)}, "
+        f"cardinality cache {totals.get('cache_hits', 0)}/{totals.get('cache_hits', 0) + totals.get('cache_misses', 0)} hits, "
+        f"store {totals.get('store_hits', 0)} hits / {totals.get('store_misses', 0)} misses",
+    ]
+    if regressions is not None:
+        if regressions:
+            lines.append(f"{len(regressions)} regression(s) against baseline:")
+            lines.extend(f"  - {message}" for message in regressions)
+        else:
+            lines.append("no regressions against baseline")
+    return "\n".join(lines)

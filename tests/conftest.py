@@ -1,10 +1,20 @@
-"""Shared pytest configuration: the ``slow`` marker.
+"""Shared pytest configuration: the ``slow`` marker and store isolation.
 
 Slow tests (line-granularity cross-validation on larger kernels) are skipped
 by default; run them with ``pytest --run-slow``.
 """
 
 import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_store(tmp_path, monkeypatch):
+    """Point the persistent analysis store at a per-test directory.
+
+    CLI runs default to the user-level store (``~/.cache/repro-haystack``);
+    tests must stay hermetic and must never warm or pollute it.
+    """
+    monkeypatch.setenv("REPRO_STORE_PATH", str(tmp_path / "store"))
 
 
 def pytest_addoption(parser):

@@ -1,0 +1,185 @@
+"""Bench harness: suite runs, baseline comparison semantics, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.reporting import bench
+from repro.reporting.bench import compare_reports, load_report, run_suite, write_report
+
+#: A one-job suite so harness tests run in milliseconds; the tiny budget
+#: trips immediately and the job degrades to the fast exact fallback.
+TINY_SUITE = {
+    "kernels": ["jacobi-1d"],
+    "datasets": ["mini"],
+    "levels": [(32 * 1024,)],
+    "budget": 200,
+}
+
+
+@pytest.fixture(autouse=True)
+def _tiny_suite(monkeypatch):
+    monkeypatch.setitem(bench.SUITES, "tiny", TINY_SUITE)
+    # Keep calibration cheap for the test suite.
+    monkeypatch.setattr(bench, "_CALIBRATION_ROUNDS", 1)
+
+
+class TestRunSuite:
+    def test_report_shape(self, tmp_path):
+        report = run_suite("tiny", store_path=str(tmp_path))
+        assert report["suite"] == "tiny"
+        assert report["totals"]["jobs"] == 1 and report["totals"]["errors"] == 0
+        assert report["calibration_seconds"] > 0
+        (job,) = report["jobs"]
+        assert job["kernel"] == "jacobi-1d" and job["status"] == "ok"
+        assert job["misses"] and job["accesses"] > 0
+        assert job["work_units"] > 0
+        assert "stack_distance_seconds" in job["phases"]
+
+    def test_warm_store_rerun_is_cached(self, tmp_path):
+        cold = run_suite("tiny", store_path=str(tmp_path))
+        warm = run_suite("tiny", store_path=str(tmp_path))
+        assert cold["totals"]["cached"] == 0
+        assert warm["totals"]["cached"] == warm["totals"]["jobs"] == 1
+        assert warm["jobs"][0]["misses"] == cold["jobs"][0]["misses"]
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError):
+            run_suite("no-such-suite")
+
+    def test_report_round_trip(self, tmp_path):
+        report = run_suite("tiny", store_path=None)
+        path = tmp_path / "BENCH_tiny.json"
+        write_report(report, path)
+        assert load_report(path) == json.loads(json.dumps(report))
+
+
+class TestCompareReports:
+    def _report(self, **overrides):
+        report = {
+            "schema_version": 1,
+            "suite": "tiny",
+            "wall_seconds": 10.0,
+            "calibration_seconds": 0.1,
+            "jobs": [
+                {
+                    "kernel": "jacobi-1d",
+                    "dataset": "mini",
+                    "levels": [32768],
+                    "status": "ok",
+                    "misses": [4],
+                    "accesses": 100,
+                }
+            ],
+            "totals": {"work_units": 1000},
+        }
+        report.update(overrides)
+        return report
+
+    def test_identical_reports_clean(self):
+        assert compare_reports(self._report(), self._report()) == []
+
+    def test_miss_count_change_is_accuracy_regression(self):
+        current = self._report()
+        current["jobs"][0]["misses"] = [5]
+        (regression,) = compare_reports(current, self._report())
+        assert regression.startswith("accuracy:")
+
+    def test_job_error_is_accuracy_regression(self):
+        current = self._report()
+        current["jobs"][0]["status"] = "error"
+        (regression,) = compare_reports(current, self._report())
+        assert "now fails" in regression
+
+    def test_missing_job_is_accuracy_regression(self):
+        current = self._report(jobs=[])
+        (regression,) = compare_reports(current, self._report())
+        assert "missing" in regression
+
+    def test_wall_time_regression_is_normalized(self):
+        # 3x the wall time on a 3x slower machine is NOT a regression.
+        current = self._report(wall_seconds=30.0, calibration_seconds=0.3)
+        assert compare_reports(current, self._report()) == []
+        # 3x the wall time at identical machine speed IS one.
+        current = self._report(wall_seconds=30.0)
+        (regression,) = compare_reports(current, self._report())
+        assert "wall time" in regression
+
+    def test_wall_check_can_be_disabled(self):
+        current = self._report(wall_seconds=30.0)
+        assert compare_reports(current, self._report(), check_wall=False) == []
+
+    def test_work_unit_regression_respects_tolerance(self):
+        current = self._report(totals={"work_units": 1150})
+        assert compare_reports(current, self._report(), check_wall=False) == []
+        current = self._report(totals={"work_units": 1300})
+        (regression,) = compare_reports(current, self._report(), check_wall=False)
+        assert "work units" in regression
+
+    def test_suite_mismatch_rejected(self):
+        (regression,) = compare_reports(self._report(suite="other"), self._report())
+        assert "suite mismatch" in regression
+
+    def test_failing_job_absent_from_baseline_is_regression(self):
+        current = self._report()
+        current["jobs"].append(
+            {"kernel": "new-kernel", "dataset": "mini", "levels": [1024], "status": "error"}
+        )
+        (regression,) = compare_reports(current, self._report())
+        assert "not in baseline" in regression and "fails" in regression
+
+    def test_healthy_job_absent_from_baseline_is_not_regression(self):
+        current = self._report()
+        current["jobs"].append(
+            {"kernel": "new-kernel", "dataset": "mini", "levels": [1024], "status": "ok",
+             "misses": [1], "accesses": 10}
+        )
+        assert compare_reports(current, self._report()) == []
+
+
+class TestBenchCli:
+    def test_bench_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_tiny.json"
+        rc = main(["bench", "--suite", "tiny", "--output", str(output)])
+        assert rc == 0
+        assert "bench suite 'tiny'" in capsys.readouterr().out
+        report = json.loads(output.read_text())
+        assert report["suite"] == "tiny" and report["jobs"]
+
+    def test_bench_compare_clean_baseline_exits_zero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", "--suite", "tiny", "--output", str(tmp_path / "a.json"),
+                     "--baseline", str(baseline), "--update-baseline"]) == 0
+        rc = main(["bench", "--suite", "tiny", "--output", str(tmp_path / "b.json"),
+                   "--baseline", str(baseline), "--compare", "--no-wall"])
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_bench_compare_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", "--suite", "tiny", "--output", str(tmp_path / "a.json"),
+                     "--baseline", str(baseline), "--update-baseline"]) == 0
+        doctored = json.loads(baseline.read_text())
+        doctored["jobs"][0]["misses"][0] += 1
+        baseline.write_text(json.dumps(doctored))
+        rc = main(["bench", "--suite", "tiny", "--output", str(tmp_path / "b.json"),
+                   "--baseline", str(baseline), "--compare", "--no-wall"])
+        assert rc == 4
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_bench_compare_missing_baseline_exits_two(self, tmp_path, capsys):
+        rc = main(["bench", "--suite", "tiny", "--output", str(tmp_path / "a.json"),
+                   "--baseline", str(tmp_path / "nope.json"), "--compare"])
+        assert rc == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_committed_smoke_baseline_is_well_formed(self):
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        report = load_report(repo_root / "benchmarks" / "baselines" / "BENCH_smoke.json")
+        assert report["suite"] == "smoke"
+        assert report["totals"]["errors"] == 0
+        assert report["totals"]["jobs"] == len(report["jobs"]) == 6
+        assert all(job["status"] == "ok" for job in report["jobs"])

@@ -123,3 +123,57 @@ class TestBatch:
         rc = main(["batch", "--kernels", ""])
         assert rc == 2
         assert "no kernels given" in capsys.readouterr().err
+
+
+class TestStoreFlags:
+    def test_model_second_run_served_from_store(self, tmp_path, capsys):
+        store = ["--store-path", str(tmp_path / "store")]
+        assert main(["model", "gemm", "--dataset", "mini", *FAST, *store]) == 0
+        first = capsys.readouterr().out
+        assert "store 0 hits / 0 misses" in first
+        assert main(["model", "gemm", "--dataset", "mini", *FAST, *store]) == 0
+        second = capsys.readouterr().out
+        assert "result served from store" in second
+        assert "fallback used" in second  # the cached flag round-trips
+
+    def test_model_no_store_prints_disabled(self, capsys):
+        assert main(["model", "gemm", "--dataset", "mini", *FAST, "--no-store"]) == 0
+        assert "store disabled" in capsys.readouterr().out
+
+    def test_compare_prints_stats_on_fallback_path(self, capsys):
+        # The compare summary must carry the cache/store statistics even when
+        # the model degraded to the trace fallback.
+        rc = main(["compare", "jacobi-1d", "--dataset", "mini", *FAST])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cardinality cache" in out
+        assert "work units:" in out
+        assert "fallback used" in out
+
+    def test_batch_store_serves_warm_rerun(self, tmp_path, capsys):
+        store = ["--store-path", str(tmp_path / "store")]
+        argv = ["batch", "--kernels", "gemm,atax", *FAST, *store]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "0/2 results served from store" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "2/2 results served from store" in warm
+
+    def test_batch_no_store_omits_store_footer(self, capsys):
+        assert main(["batch", "--kernels", "gemm", *FAST, "--no-store"]) == 0
+        assert "served from store" not in capsys.readouterr().out
+
+    def test_zero_l1_is_a_distinct_store_identity(self, tmp_path, capsys):
+        # --l1 0 --l2 N and --l1 N build different machines (L1 always
+        # exists); their store digests must differ or the second run would be
+        # served the wrong cached hierarchy.
+        store = ["--store-path", str(tmp_path / "store")]
+        assert main(["model", "gemm", "--dataset", "mini", "--l1", "32768", *FAST, *store]) == 0
+        capsys.readouterr()
+        assert main(
+            ["model", "gemm", "--dataset", "mini", "--l1", "0", "--l2", "32768", *FAST, *store]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "L2" in out
+        assert "result served from store" not in out
