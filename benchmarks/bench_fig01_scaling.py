@@ -10,8 +10,7 @@ largest and smallest size must exceed the model's ratio by a wide margin.
 
 import pytest
 
-from helpers import machine, run_simulator, stencil_1d, sweep, timed, trisum
-from repro.core import CacheModel
+from helpers import model_session, run_simulator, stencil_1d, sweep, timed, trisum
 
 
 STENCIL_SIZES = [24, 48, 96]
@@ -22,12 +21,12 @@ def _scaling_experiment():
     rows = []
     for size in sweep(STENCIL_SIZES):
         scop = stencil_1d(size)
-        model_result, model_time = timed(CacheModel(machine()).analyze, scop)
+        model_result, model_time = timed(model_session().analyze, scop)
         sim_result = run_simulator(scop)
         rows.append(("stencil-1d", scop.total_accesses(), model_time, sim_result.elapsed_seconds))
     for size in sweep(TRISUM_SIZES):
         scop = trisum(size)
-        model_result, model_time = timed(CacheModel(machine()).analyze, scop)
+        model_result, model_time = timed(model_session().analyze, scop)
         sim_result = run_simulator(scop)
         rows.append(("trisum", scop.total_accesses(), model_time, sim_result.elapsed_seconds))
     return rows

@@ -9,8 +9,7 @@ far slower than the access count.
 
 import pytest
 
-from helpers import machine, stencil_1d, sweep, timed, trisum
-from repro.core import CacheModel
+from helpers import model_session, stencil_1d, sweep, timed, trisum
 from repro.reporting import format_table
 
 #: (kernel, [sizes]) — each step roughly quadruples the access count.
@@ -25,7 +24,7 @@ def _experiment():
     for name, builder, sizes in SWEEPS:
         for size in sweep(sizes):
             scop = builder(size)
-            result, seconds = timed(CacheModel(machine()).analyze, scop)
+            result, seconds = timed(model_session().analyze, scop)
             rows.append((name, size, scop.total_accesses(), round(seconds, 2), result.piece_count))
     return rows
 

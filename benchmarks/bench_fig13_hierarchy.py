@@ -6,21 +6,20 @@ repeated per level, so additional levels add only minor overhead.
 
 import pytest
 
-from helpers import L1_SIZE, L2_SIZE, L3_SIZE, copy, machine, stencil_1d, sweep, timed, trisum
-from repro.core import CacheModel
+from helpers import L1_SIZE, L2_SIZE, L3_SIZE, copy, model_session, stencil_1d, sweep, timed, trisum
 from repro.reporting import format_table
 
-KERNELS = [("copy", copy), ("stencil-1d", stencil_1d), ("trisum", trisum)]
+WORKLOADS = [("copy", copy), ("stencil-1d", stencil_1d), ("trisum", trisum)]
 LEVEL_SETS = [(L1_SIZE,), (L1_SIZE, L2_SIZE), (L1_SIZE, L2_SIZE, L3_SIZE)]
 
 
 def _experiment():
     rows = []
-    for name, builder in sweep(KERNELS):
+    for name, builder in sweep(WORKLOADS):
         scop = builder()
         timings = []
         for levels in LEVEL_SETS:
-            result, seconds = timed(CacheModel(machine(levels)).analyze, scop)
+            result, seconds = timed(model_session(levels).analyze, scop)
             timings.append(round(seconds, 2))
         rows.append((name, *timings))
     return rows

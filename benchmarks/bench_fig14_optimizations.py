@@ -9,8 +9,8 @@ counting time with each optimisation disabled.
 
 import pytest
 
-from helpers import L1_SIZE, machine, nonaffine_workloads, timed
-from repro.core import CacheModel, ModelOptions
+from helpers import L1_SIZE, model_session, nonaffine_workloads, timed
+from repro.core import ModelOptions
 from repro.reporting import format_table
 
 CONFIGS = [
@@ -28,7 +28,7 @@ def _experiment():
         scop = builder()
         for label, options in CONFIGS:
             options.fallback_to_simulation = False
-            result, seconds = timed(CacheModel(machine((L1_SIZE,)), options).analyze, scop)
+            result, seconds = timed(model_session((L1_SIZE,), options).analyze, scop)
             key = (name, label)
             rows.append((name, label, round(seconds, 2), result.piece_count, result.misses(0)))
             reference_misses.setdefault(name, result.misses(0))

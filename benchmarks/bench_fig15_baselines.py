@@ -11,9 +11,8 @@ speedup of the model over Dinero grows with the problem size.
 
 import pytest
 
-from helpers import L1_SIZE, LINE, machine, run_simulator, smoke_mode, stencil_1d, timed, trisum
+from helpers import L1_SIZE, LINE, model_session, run_simulator, smoke_mode, stencil_1d, timed, trisum
 from repro.baselines import PolyCacheSurrogate
-from repro.core import CacheModel
 from repro.reporting import format_table
 
 
@@ -28,7 +27,7 @@ def _experiment():
     for name, builder, small, large in _workloads():
         for size in (small, large):
             scop = builder(size)
-            _, model_time = timed(CacheModel(machine((L1_SIZE,))).analyze, scop)
+            _, model_time = timed(model_session((L1_SIZE,)).analyze, scop)
             dinero = run_simulator(scop, (L1_SIZE,))
             polycache = PolyCacheSurrogate(L1_SIZE, LINE, associativity=4).analyze(scop)
             rows.append(

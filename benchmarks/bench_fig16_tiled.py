@@ -8,24 +8,23 @@ execution time while the predicted misses stay exact.
 
 import pytest
 
-from helpers import L1_SIZE, LINE, machine, reference_misses, smoke_mode, stencil_1d, timed, transpose
-from repro.core import CacheModel, ModelOptions
+from helpers import L1_SIZE, LINE, model_session, reference_misses, smoke_mode, stencil_1d, timed, transpose
 from repro.reporting import format_table
 from repro.scop.schedule import tile_scop
 
-KERNELS = [("transpose", lambda n: transpose(n, n - 1), 10), ("stencil-1d", stencil_1d, 24)]
-SMOKE_KERNELS = [("transpose", lambda n: transpose(n, n - 1), 8), ("stencil-1d", stencil_1d, 16)]
+WORKLOADS = [("transpose", lambda n: transpose(n, n - 1), 10), ("stencil-1d", stencil_1d, 24)]
+SMOKE_WORKLOADS = [("transpose", lambda n: transpose(n, n - 1), 8), ("stencil-1d", stencil_1d, 16)]
 TILE_SIZE = 4
 
 
 def _experiment():
     rows = []
-    for name, builder, size in (SMOKE_KERNELS if smoke_mode() else KERNELS):
+    for name, builder, size in (SMOKE_WORKLOADS if smoke_mode() else WORKLOADS):
         original = builder(size)
         tiled = tile_scop(original, TILE_SIZE)
-        model = CacheModel(machine((L1_SIZE,)), ModelOptions())
-        original_result, original_time = timed(model.analyze, original)
-        tiled_result, tiled_time = timed(model.analyze, tiled)
+        session = model_session((L1_SIZE,))
+        original_result, original_time = timed(session.analyze, original)
+        tiled_result, tiled_time = timed(session.analyze, tiled)
         compulsory, capacity = reference_misses(tiled, L1_SIZE // LINE)
         assert tiled_result.compulsory(0) == compulsory
         assert tiled_result.capacity(0) == capacity

@@ -8,15 +8,15 @@ statistic from the capacity counter on the line-granularity workloads.
 
 import pytest
 
-from helpers import L1_SIZE, machine, nonaffine_workloads
-from repro.core import CacheModel, ModelOptions
+from helpers import L1_SIZE, model_session, nonaffine_workloads
+from repro.core import ModelOptions
 from repro.reporting import format_table
 
 
 def _experiment():
     rows = []
     for name, builder in nonaffine_workloads():
-        result = CacheModel(machine((L1_SIZE,)), ModelOptions(fallback_to_simulation=False)).analyze(builder())
+        result = model_session((L1_SIZE,), ModelOptions(fallback_to_simulation=False)).analyze(builder())
         histogram = {0: 0, 1: 0, 2: 0}
         for dims in result.nonaffine_affine_dims:
             histogram[min(dims, 2)] = histogram.get(min(dims, 2), 0) + 1

@@ -20,8 +20,8 @@ import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api import Session
 from repro.core import CacheLevelSpec, MachineModel, ModelOptions, ModelResult
-from repro.engine import BatchEngine, JobSpec
 from repro.engine.batch import default_worker_count
 from repro.scop import Scop, ScopBuilder
 from repro.simulator import CacheLevelConfig, DineroSimulator, StackDistanceProfiler, TraceGenerator
@@ -272,20 +272,26 @@ def machine(levels: Tuple[int, ...] = (L1_SIZE, L2_SIZE), line_size: int = LINE)
     )
 
 
-def _job_for(scop: Scop, levels: Tuple[int, ...], options: Optional[ModelOptions]) -> JobSpec:
-    resolved = options or ModelOptions()
-    return JobSpec(
-        kernel=scop.name,
-        scop=scop,
-        line_size=LINE,
-        levels=tuple(levels),
-        fallback=resolved.fallback_to_simulation,
-        equalization=resolved.equalization,
-        rasterization=resolved.rasterization,
-        partial_enumeration=resolved.partial_enumeration,
-        symbolic_work_budget=resolved.symbolic_work_budget,
-        cross_check=resolved.cross_check,
-    )
+def analysis_session(
+    levels: Tuple[int, ...] = (L1_SIZE, L2_SIZE),
+    options: Optional[ModelOptions] = None,
+    *,
+    jobs: Optional[int] = None,
+) -> Session:
+    """A :class:`repro.api.Session` configured for the scaled experiments.
+
+    Figure modules run every analysis through this façade; single runs use
+    ``analysis_session(...).analyze(scop)``, sweeps open a request with
+    ``.scops(...)``.  Exporting REPRO_STORE_PATH shares the persistent
+    analysis store across pytest sessions.
+    """
+    session = Session().machine(machine(levels)).workers(jobs if jobs is not None else default_jobs())
+    if options is not None:
+        session.configure(options)
+    store_path = os.environ.get("REPRO_STORE_PATH", "").strip() or None
+    if store_path:
+        session.store(store_path)
+    return session
 
 
 def run_models(
@@ -295,20 +301,18 @@ def run_models(
     *,
     jobs: Optional[int] = None,
 ) -> List[ModelResult]:
-    """Analyse several kernels through the batch engine (parallel workers).
+    """Analyse several kernels through the session façade (parallel workers).
 
     Results are memoised across benchmark modules on the job identity, so a
     kernel analysed by one figure is free for every later figure.  Ordering
     is deterministic: results come back in argument order regardless of the
     worker count.
     """
-    specs = [_job_for(scop, levels, options) for scop in scops]
+    session = analysis_session(levels, options, jobs=jobs)
+    specs = session.scops(*scops).specs()
     missing = [spec for spec in specs if spec.key() not in _RESULTS]
     if missing:
-        # Figure modules share the persistent analysis store when the caller
-        # exports REPRO_STORE_PATH (results survive across pytest sessions).
-        store_path = os.environ.get("REPRO_STORE_PATH", "").strip() or None
-        batch = BatchEngine(jobs if jobs is not None else default_jobs(), store_path=store_path).run(missing)
+        batch = session.run(missing)
         for spec, record in zip(missing, batch.records):
             if not record.ok or record.result is None:
                 raise RuntimeError(f"benchmark job {spec.describe()} failed: {record.error}")
@@ -319,6 +323,14 @@ def run_models(
 def run_model(scop: Scop, levels: Tuple[int, ...] = (L1_SIZE, L2_SIZE), options: Optional[ModelOptions] = None) -> ModelResult:
     """Run the analytical model (memoised across benchmark modules)."""
     return run_models([scop], levels, options, jobs=1)[0]
+
+
+def model_session(
+    levels: Tuple[int, ...] = (L1_SIZE, L2_SIZE), options: Optional[ModelOptions] = None
+) -> Session:
+    """Session for *timed* single runs: inline worker and no store, so the
+    measured wall time is the model's compute, not a disk lookup."""
+    return analysis_session(levels, options, jobs=1).no_store()
 
 
 def run_simulator(scop: Scop, levels: Tuple[int, ...] = (L1_SIZE, L2_SIZE), associativity=None):

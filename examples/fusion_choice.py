@@ -14,7 +14,8 @@ either variant.
 Run with:  python examples/fusion_choice.py
 """
 
-from repro.core import CacheLevelSpec, CacheModel, MachineModel
+from repro.api import Session
+from repro.core import CacheLevelSpec, MachineModel
 from repro.scop import ScopBuilder
 
 
@@ -49,10 +50,10 @@ def main() -> None:
     n = 64
     # A small L1 that cannot hold the intermediate array between the loops.
     machine = MachineModel(line_size=64, levels=(CacheLevelSpec(8 * 64, "L1"),))
-    model = CacheModel(machine)
+    session = Session().machine(machine)
 
-    unfused = model.analyze(build_unfused(n))
-    fused = model.analyze(build_fused(n))
+    unfused = session.analyze(build_unfused(n))
+    fused = session.analyze(build_fused(n))
 
     print(f"Element-wise pipeline over {n} elements, 8-line fully associative L1:\n")
     for name, result in (("unfused", unfused), ("fused", fused)):

@@ -8,7 +8,8 @@ miss counts against the trace-driven reference simulator.
 Run with:  python examples/quickstart.py
 """
 
-from repro.core import CacheLevelSpec, CacheModel, MachineModel
+from repro.api import Session
+from repro.core import CacheLevelSpec, MachineModel
 from repro.scop import ScopBuilder
 from repro.simulator import CacheLevelConfig, DineroSimulator
 
@@ -37,7 +38,7 @@ def main() -> None:
     print(f"Analysing {scop.name}: {scop.total_accesses()} memory accesses, "
           f"{len(scop.statements)} statements, {len(scop.arrays)} arrays")
 
-    result = CacheModel(machine).analyze(scop)
+    result = Session().machine(machine).analyze(scop)
     print("\nAnalytical model (HayStack):")
     for level in result.level_results:
         print(f"  {level.name}: {level.compulsory} compulsory + {level.capacity} capacity "

@@ -8,18 +8,26 @@ larger than the cache.  Blocking (tiling) the sweep keeps a tile resident
 across the repeated passes — but only if the tile fits the cache.  The model
 ranks the candidate tile sizes without executing the program.
 
+The candidate variants run as one batch through the ``repro.api`` session
+façade; ``run_iter`` streams each verdict the moment its analysis finishes
+instead of holding all output until the batch completes (add ``.workers(n)``
+to the session to also overlap the analyses).
+
 Run with:  python examples/tile_size_selection.py
-(The tiled variants take a few minutes each with the pure-Python backend.)
+(The tiled variants take a few minutes each with the pure-Python backend;
+set REPRO_EXAMPLE_FAST=1 for a seconds-scale variant used by CI.)
 """
 
-from repro.core import CacheLevelSpec, CacheModel, MachineModel
+import os
+
+from repro.api import Session
 from repro.scop import ScopBuilder
 from repro.scop.schedule import tile_scop
 
 CACHE_LINES = 8
 
 
-def build_repeated_sweep(n: int = 32, passes: int = 4) -> "Scop":
+def build_repeated_sweep(n: int, passes: int) -> "Scop":
     """s += A[i] repeated ``passes`` times over an array of n lines."""
     b = ScopBuilder("sweep", context={"N": n, "T": passes}, element_size=64)
     A = b.array("A", (n,))
@@ -31,23 +39,33 @@ def build_repeated_sweep(n: int = 32, passes: int = 4) -> "Scop":
 
 
 def main() -> None:
-    n, passes = 32, 4
-    machine = MachineModel(line_size=64, levels=(CacheLevelSpec(CACHE_LINES * 64, "L1"),))
-    model = CacheModel(machine)
+    fast = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
+    n, passes = (16, 2) if fast else (32, 4)
+    tiles = (4, 8, 16) if fast else (4, 8, 16, 32)
+    # Fast mode budgets the symbolic pipeline: the tiled variants trip it and
+    # degrade to the exact trace fallback, so CI sees the same ranking in
+    # seconds instead of minutes.
+    budget = 2_000 if fast else None
 
     baseline = build_repeated_sweep(n, passes)
     variants = [("untiled", baseline)]
-    for tile in (4, 8, 16, 32):
+    for tile in tiles:
         # Tiling both loops interchanges the pass loop into the tile, so a
         # tile that fits the cache is reused across all passes.
         variants.append((f"tile {tile}", tile_scop(baseline, tile)))
 
+    session = Session().machine((CACHE_LINES * 64,)).budget(budget)
     print(f"Repeated sweep over {n} cache lines ({passes} passes), "
           f"{CACHE_LINES}-line fully associative L1:\n")
     print(f"{'variant':<10} {'L1 misses':>10} {'hits':>8} {'miss ratio':>11}")
     best = None
-    for name, scop in variants:
-        result = model.analyze(scop)
+    labels = [name for name, _ in variants]
+    # error_policy="raise" surfaces a failed variant as a JobError instead of
+    # an error record whose result would be None.
+    request = session.scops(*[scop for _, scop in variants])
+    for record in request.run_iter(error_policy="raise"):
+        name = labels[record.index]
+        result = record.result
         print(f"{name:<10} {result.misses(0):>10} {result.hits(0):>8} {result.miss_ratio(0):>10.1%}")
         if best is None or result.misses(0) < best[1]:
             best = (name, result.misses(0))

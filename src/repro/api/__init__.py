@@ -1,0 +1,30 @@
+"""Public API façade: sessions, fluent analysis requests, registries.
+
+This package is the stable entry point for programmatic use::
+
+    from repro.api import Session
+
+    result = Session().machine("paper-xeon").analyze("gemm", "mini")
+
+    batch = Session().workers(4).kernels("gemm", "atax").datasets("mini").run()
+
+See :mod:`repro.api.session` for the façade and :mod:`repro.api.registry`
+for the pluggable kernel/machine registries (``@register_kernel``,
+``@register_machine``, entry-point discovery).
+"""
+
+from . import registry
+from ..engine.batch import JobError
+from .registry import RegistryError, register_kernel, register_machine
+from .session import AnalysisRequest, Session, SessionConfigError
+
+__all__ = [
+    "AnalysisRequest",
+    "JobError",
+    "RegistryError",
+    "Session",
+    "SessionConfigError",
+    "register_kernel",
+    "register_machine",
+    "registry",
+]

@@ -1,0 +1,69 @@
+"""Named machine-model presets, resolvable via the :mod:`repro.api` registry.
+
+The CLI used to rebuild the same hierarchies from raw ``--l1/--l2/--l3``
+byte counts in every invocation and every bench suite; these presets give
+the recurring configurations stable names (``--machine paper-xeon``,
+``Session().machine("l1-only")``).  Third-party distributions add their own
+through the :data:`repro.api.registry.MACHINE_GROUP` entry-point group.
+"""
+
+from __future__ import annotations
+
+from ..core.config import KIB, CacheLevelSpec, MachineModel
+from .registry import register_machine
+
+__all__ = []  # registration side effects only
+
+
+@register_machine(
+    "default",
+    description="32KiB L1 + 1MiB L2 (the model's default hierarchy)",
+    source="builtin",
+)
+def _default() -> MachineModel:
+    return MachineModel()
+
+
+@register_machine(
+    "paper-xeon",
+    description="Xeon Gold 6150, the paper's test system: 32KiB L1 + 1MiB L2 + 24.75MiB L3",
+    source="builtin",
+)
+def _paper_xeon() -> MachineModel:
+    return MachineModel.xeon_gold_6150(num_levels=3)
+
+
+@register_machine(
+    "paper-xeon-l2",
+    description="Xeon Gold 6150 truncated to two levels (32KiB L1 + 1MiB L2)",
+    source="builtin",
+)
+def _paper_xeon_l2() -> MachineModel:
+    return MachineModel.xeon_gold_6150(num_levels=2)
+
+
+@register_machine(
+    "polycache",
+    description="PolyCache comparison hierarchy (Section 4.4): 32KiB L1 + 256KiB L2",
+    source="builtin",
+)
+def _polycache() -> MachineModel:
+    return MachineModel.polycache_reference()
+
+
+@register_machine(
+    "l1-only",
+    description="single 32KiB L1, 64B lines",
+    source="builtin",
+)
+def _l1_only() -> MachineModel:
+    return MachineModel(line_size=64, levels=(CacheLevelSpec(32 * KIB, "L1"),))
+
+
+@register_machine(
+    "l1-tiny",
+    description="single 1KiB L1 (16 lines) for didactic runs and tests",
+    source="builtin",
+)
+def _l1_tiny() -> MachineModel:
+    return MachineModel(line_size=64, levels=(CacheLevelSpec(1 * KIB, "L1"),))

@@ -1,0 +1,334 @@
+"""Pluggable kernel and machine registries behind the :mod:`repro.api` façade.
+
+Historically the PolyBench suite lived in a hardcoded ``KERNELS`` dict that
+every consumer imported directly; machine models were rebuilt ad hoc from CLI
+flags.  This module replaces both with first-class registries:
+
+* :func:`register_kernel` / :func:`register_machine` — decorators (or plain
+  calls) that add entries under a stable name.  Builtins register themselves
+  on first use (the PolyBench suite and the named machine presets).
+* entry-point discovery — third-party distributions can contribute kernels
+  and machines by declaring ``importlib.metadata`` entry points in the
+  :data:`KERNEL_GROUP` / :data:`MACHINE_GROUP` groups; they are loaded once,
+  lazily, and a broken plugin degrades to a warning instead of breaking the
+  host application.
+
+The registry itself has no heavy imports: builtins are pulled in lazily so
+``repro.scop.polybench`` can register its kernels here without an import
+cycle.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "KERNEL_GROUP",
+    "MACHINE_GROUP",
+    "KernelEntry",
+    "MachineEntry",
+    "RegistryError",
+    "add_kernel",
+    "add_machine",
+    "dataset_names",
+    "discover_plugins",
+    "get_kernel",
+    "get_machine",
+    "kernel_entries",
+    "kernel_names",
+    "machine_entries",
+    "machine_names",
+    "register_kernel",
+    "register_machine",
+    "resolve_machine",
+]
+
+#: Entry-point group a distribution uses to contribute kernels.  Each entry
+#: point's name is the kernel name; loading it must yield a builder callable
+#: ``builder(sizes: Dict[str, int]) -> Scop`` (an optional ``datasets``
+#: attribute on the builder maps dataset-class names to size dicts).
+KERNEL_GROUP = "repro_haystack.kernels"
+
+#: Entry-point group for machine models: the entry name is the machine name
+#: and loading it must yield a zero-argument factory returning a
+#: :class:`repro.core.MachineModel`.
+MACHINE_GROUP = "repro_haystack.machines"
+
+
+class RegistryError(KeyError):
+    """Unknown name or conflicting registration."""
+
+    def __str__(self) -> str:  # KeyError repr-quotes its argument
+        return self.args[0] if self.args else ""
+
+
+@dataclass(frozen=True)
+class KernelEntry:
+    """One registered kernel: a named builder plus its dataset classes."""
+
+    name: str
+    #: ``builder(sizes) -> Scop`` where ``sizes`` maps parameter names to ints.
+    builder: Callable
+    datasets: Tuple[str, ...] = ("mini",)
+    #: ``sizes_for(dataset) -> Dict[str, int]`` resolving a dataset class to
+    #: the builder's size parameters.
+    sizes_for: Callable[[str], Dict[str, int]] = field(default=lambda dataset: {}, repr=False)
+    #: Where the entry came from: ``"builtin"``, ``"user"``, or ``"plugin:<dist>"``.
+    source: str = "user"
+
+    def build(self, dataset: str = "mini", overrides: Optional[Mapping[str, int]] = None):
+        """Instantiate the kernel for one dataset class (plus size overrides)."""
+        if dataset not in self.datasets:
+            raise RegistryError(
+                f"kernel {self.name!r} has no dataset {dataset!r}; "
+                f"available: {', '.join(self.datasets)}"
+            )
+        sizes = dict(self.sizes_for(dataset))
+        if overrides:
+            sizes.update(overrides)
+        return self.builder(sizes)
+
+
+@dataclass(frozen=True)
+class MachineEntry:
+    """One registered machine model: a named zero-argument factory."""
+
+    name: str
+    factory: Callable = field(repr=False)
+    description: str = ""
+    source: str = "user"
+
+    def build(self):
+        return self.factory()
+
+
+_KERNELS: Dict[str, KernelEntry] = {}
+_MACHINES: Dict[str, MachineEntry] = {}
+_BUILTINS_LOADED = False
+_PLUGINS_LOADED = False
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+def add_kernel(entry: KernelEntry, *, replace: bool = False) -> KernelEntry:
+    """Add a fully built :class:`KernelEntry` (decorator-free registration)."""
+    if not replace and entry.name in _KERNELS:
+        existing = _KERNELS[entry.name]
+        raise RegistryError(
+            f"kernel {entry.name!r} is already registered (source: {existing.source}); "
+            "pass replace=True to override"
+        )
+    _KERNELS[entry.name] = entry
+    return entry
+
+
+def add_machine(entry: MachineEntry, *, replace: bool = False) -> MachineEntry:
+    if not replace and entry.name in _MACHINES:
+        existing = _MACHINES[entry.name]
+        raise RegistryError(
+            f"machine {entry.name!r} is already registered (source: {existing.source}); "
+            "pass replace=True to override"
+        )
+    _MACHINES[entry.name] = entry
+    return entry
+
+
+def register_kernel(
+    name: str,
+    builder: Optional[Callable] = None,
+    *,
+    datasets: Optional[Mapping[str, Mapping[str, int]]] = None,
+    source: str = "user",
+    replace: bool = False,
+):
+    """Register ``builder`` as a kernel; usable as a decorator.
+
+    ``datasets`` maps dataset-class names to the size parameters handed to
+    the builder; omitted, the kernel gets a single parameter-less ``"mini"``
+    dataset.  Dataset order is preserved.
+
+    ::
+
+        @register_kernel("axpy", datasets={"mini": {"N": 64}, "small": {"N": 256}})
+        def axpy(sizes):
+            ...
+            return builder.build()
+    """
+
+    def apply(builder: Callable) -> Callable:
+        source_mapping = {"mini": {}} if datasets is None else datasets
+        mapping = {key: dict(value) for key, value in source_mapping.items()}
+        if not mapping:
+            raise RegistryError(f"kernel {name!r} must declare at least one dataset")
+        add_kernel(
+            KernelEntry(
+                name=name,
+                builder=builder,
+                datasets=tuple(mapping),
+                sizes_for=lambda dataset: dict(mapping[dataset]),
+                source=source,
+            ),
+            replace=replace,
+        )
+        return builder
+
+    if builder is None:
+        return apply
+    return apply(builder)
+
+
+def register_machine(
+    name: str,
+    factory: Optional[Callable] = None,
+    *,
+    description: str = "",
+    source: str = "user",
+    replace: bool = False,
+):
+    """Register a zero-argument :class:`MachineModel` factory; decorator-friendly."""
+
+    def apply(factory: Callable) -> Callable:
+        add_machine(
+            MachineEntry(name=name, factory=factory, description=description, source=source),
+            replace=replace,
+        )
+        return factory
+
+    if factory is None:
+        return apply
+    return apply(factory)
+
+
+# ----------------------------------------------------------------------
+# Builtin + plugin population
+# ----------------------------------------------------------------------
+def _ensure_ready() -> None:
+    """Load builtin registrations and discover plugins (once each)."""
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        # Importing these modules runs their registration side effects; the
+        # flag is set first because polybench re-enters through add_kernel.
+        from ..scop import polybench  # noqa: F401
+        from . import machines  # noqa: F401
+    discover_plugins()
+
+
+def _iter_entry_points(group: str):
+    """All installed entry points of ``group`` (separate for test patching)."""
+    from importlib import metadata
+
+    return list(metadata.entry_points(group=group))
+
+
+def _plugin_source(entry_point) -> str:
+    dist = getattr(entry_point, "dist", None)
+    dist_name = getattr(dist, "name", None) if dist is not None else None
+    return f"plugin:{dist_name}" if dist_name else "plugin"
+
+
+def discover_plugins(*, force: bool = False) -> List[str]:
+    """Load kernels/machines contributed via entry points; returns new names.
+
+    Runs once per process unless ``force`` is set.  A plugin that fails to
+    load, or that collides with an existing name, is skipped with a
+    ``RuntimeWarning`` — a broken third-party distribution must not take the
+    host application down with it.
+    """
+    global _PLUGINS_LOADED
+    if _PLUGINS_LOADED and not force:
+        return []
+    _PLUGINS_LOADED = True
+    loaded: List[str] = []
+    for entry_point in _iter_entry_points(KERNEL_GROUP):
+        try:
+            builder = entry_point.load()
+            datasets = getattr(builder, "datasets", None) or {"mini": {}}
+            register_kernel(
+                entry_point.name, builder, datasets=datasets, source=_plugin_source(entry_point)
+            )
+            loaded.append(f"kernel:{entry_point.name}")
+        except Exception as exc:  # noqa: BLE001 - plugin isolation is the contract
+            warnings.warn(
+                f"skipping kernel plugin {entry_point.name!r}: {type(exc).__name__}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    for entry_point in _iter_entry_points(MACHINE_GROUP):
+        try:
+            factory = entry_point.load()
+            register_machine(entry_point.name, factory, source=_plugin_source(entry_point))
+            loaded.append(f"machine:{entry_point.name}")
+        except Exception as exc:  # noqa: BLE001
+            warnings.warn(
+                f"skipping machine plugin {entry_point.name!r}: {type(exc).__name__}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return loaded
+
+
+# ----------------------------------------------------------------------
+# Lookup
+# ----------------------------------------------------------------------
+def kernel_names() -> List[str]:
+    _ensure_ready()
+    return sorted(_KERNELS)
+
+
+def kernel_entries() -> List[KernelEntry]:
+    _ensure_ready()
+    return [_KERNELS[name] for name in sorted(_KERNELS)]
+
+
+def get_kernel(name: str) -> KernelEntry:
+    _ensure_ready()
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise RegistryError(
+            f"unknown kernel {name!r}; available: {', '.join(sorted(_KERNELS))}"
+        ) from None
+
+
+def dataset_names() -> List[str]:
+    """Union of the dataset classes of every registered kernel."""
+    _ensure_ready()
+    names = {dataset for entry in _KERNELS.values() for dataset in entry.datasets}
+    return sorted(names)
+
+
+def machine_names() -> List[str]:
+    _ensure_ready()
+    return sorted(_MACHINES)
+
+
+def machine_entries() -> List[MachineEntry]:
+    _ensure_ready()
+    return [_MACHINES[name] for name in sorted(_MACHINES)]
+
+
+def get_machine(name: str) -> MachineEntry:
+    _ensure_ready()
+    try:
+        return _MACHINES[name]
+    except KeyError:
+        raise RegistryError(
+            f"unknown machine {name!r}; available: {', '.join(sorted(_MACHINES))}"
+        ) from None
+
+
+def resolve_machine(spec):
+    """A :class:`MachineModel` from a registry name or a model instance."""
+    from ..core.config import MachineModel
+
+    if isinstance(spec, MachineModel):
+        return spec
+    if isinstance(spec, str):
+        return get_machine(spec).build()
+    raise TypeError(
+        f"machine must be a registry name or a MachineModel, got {type(spec).__name__}"
+    )

@@ -1,0 +1,463 @@
+"""The unified analysis façade: :class:`Session` and :class:`AnalysisRequest`.
+
+One object owns everything a run needs — machine model, model options, work
+budget, worker pool size, and analysis-store path — and every entry point
+(single analysis, batch matrix, streaming batch) flows through it::
+
+    from repro.api import Session
+
+    batch = (
+        Session()
+        .machine("paper-xeon")
+        .budget(10_000)
+        .workers(4)
+        .kernels("gemm", "jacobi-2d")
+        .datasets("small", "large")
+        .run()
+    )
+
+    for record in Session().kernels("gemm").datasets("mini").run_iter():
+        ...  # records stream in as the pool completes them
+
+Kernel and machine names resolve through :mod:`repro.api.registry`, so
+plugin-contributed kernels work everywhere a builtin does.  Configuration
+methods validate eagerly and return the session, so a typo fails at the call
+site instead of deep inside a worker process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core import CacheLevelSpec, CacheModel, MachineModel, ModelOptions
+from ..core.results import ModelResult
+from ..engine.batch import BatchEngine, BatchResult, JobRecord, default_worker_count
+from ..engine.jobs import JobSpec
+from ..scop import Scop
+
+__all__ = ["AnalysisRequest", "Session", "SessionConfigError"]
+
+#: ModelOptions switches settable through :meth:`Session.options`.
+_OPTION_NAMES = (
+    "equalization",
+    "rasterization",
+    "partial_enumeration",
+    "fallback",
+    "cross_check",
+)
+
+
+class SessionConfigError(ValueError):
+    """Invalid session or request configuration (raised at the call site)."""
+
+
+#: Sentinel distinguishing ``store()`` (use the default path) from an
+#: explicit ``store(None)`` (disable the store).
+_USE_DEFAULT_STORE = object()
+
+
+def _coerce_levels(levels) -> Tuple[int, ...]:
+    if isinstance(levels, int):
+        levels = (levels,)
+    try:
+        sizes = tuple(int(size) for size in levels)
+    except TypeError:
+        raise SessionConfigError(
+            f"cache levels must be an int or a sequence of ints, got {levels!r}"
+        ) from None
+    if not sizes or any(size <= 0 for size in sizes):
+        raise SessionConfigError(f"cache level sizes must be positive, got {sizes!r}")
+    if list(sizes) != sorted(sizes):
+        raise SessionConfigError(
+            f"cache levels must be ordered from smallest to largest, got {sizes!r}"
+        )
+    return sizes
+
+
+class Session:
+    """Owns the full configuration of analysis runs; entry point of the API.
+
+    All configuration methods mutate the session and return it, so calls
+    chain fluently.  :meth:`kernels` / :meth:`scops` open an
+    :class:`AnalysisRequest` that inherits the session's configuration.
+    """
+
+    def __init__(self, machine: Union[str, MachineModel, None] = None) -> None:
+        from . import registry
+
+        self._registry = registry
+        self._machine: MachineModel = (
+            MachineModel() if machine is None else self._resolve_machine(machine)
+        )
+        self._budget: Optional[int] = None
+        self._workers: int = 1
+        self._store_path: Optional[str] = None
+        self._toggles = {
+            "equalization": True,
+            "rasterization": True,
+            "partial_enumeration": True,
+            "fallback": True,
+            "cross_check": False,
+        }
+
+    # ------------------------------------------------------------------
+    # Fluent configuration
+    # ------------------------------------------------------------------
+    def _resolve_machine(self, spec) -> MachineModel:
+        if isinstance(spec, (tuple, list)):
+            return MachineModel(
+                levels=tuple(
+                    CacheLevelSpec(size, f"L{index + 1}")
+                    for index, size in enumerate(_coerce_levels(spec))
+                )
+            )
+        return self._registry.resolve_machine(spec)
+
+    def machine(self, spec: Union[str, MachineModel, Sequence[int]]) -> "Session":
+        """Set the machine model: a registry name (``"paper-xeon"``), a
+        :class:`MachineModel`, or a sequence of cache sizes in bytes."""
+        self._machine = self._resolve_machine(spec)
+        return self
+
+    def budget(self, units: Optional[int]) -> "Session":
+        """Deterministic symbolic work budget; ``None`` or ``0`` = unlimited."""
+        if units is not None and units < 0:
+            raise SessionConfigError(f"work budget must be >= 0 or None, got {units}")
+        self._budget = units or None
+        return self
+
+    def workers(self, count: Union[int, str]) -> "Session":
+        """Worker-pool size for batch runs; ``"auto"`` picks a machine default."""
+        if count == "auto":
+            count = default_worker_count()
+        if not isinstance(count, int) or count < 1:
+            raise SessionConfigError(f"worker count must be >= 1 or 'auto', got {count!r}")
+        self._workers = count
+        return self
+
+    def store(self, path=_USE_DEFAULT_STORE) -> "Session":
+        """Enable the persistent analysis store.
+
+        ``store()`` uses the default path (``$REPRO_STORE_PATH`` or the user
+        cache directory); ``store(path)`` uses that path.  An explicit
+        ``store(None)`` disables the store — so configuration values of the
+        form ``store_path or None`` pass through with their old
+        ``run_batch``/``BatchEngine`` meaning intact.
+        """
+        if path is _USE_DEFAULT_STORE:
+            from ..engine.store import default_store_path
+
+            self._store_path = default_store_path()
+        else:
+            self._store_path = str(path) if path is not None else None
+        return self
+
+    def no_store(self) -> "Session":
+        self._store_path = None
+        return self
+
+    def options(self, **toggles: bool) -> "Session":
+        """Set model switches: ``equalization``, ``rasterization``,
+        ``partial_enumeration``, ``fallback`` (trace fallback on symbolic
+        failure), ``cross_check``."""
+        unknown = set(toggles) - set(_OPTION_NAMES)
+        if unknown:
+            raise SessionConfigError(
+                f"unknown model options: {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(_OPTION_NAMES)}"
+            )
+        for name, value in toggles.items():
+            self._toggles[name] = bool(value)
+        return self
+
+    def configure(self, options: ModelOptions) -> "Session":
+        """Adopt the switches of an existing :class:`ModelOptions` (migration aid)."""
+        self._toggles.update(
+            equalization=options.equalization,
+            rasterization=options.rasterization,
+            partial_enumeration=options.partial_enumeration,
+            fallback=options.fallback_to_simulation,
+            cross_check=options.cross_check,
+        )
+        self._budget = options.symbolic_work_budget
+        if options.store_path:
+            self._store_path = options.store_path
+        return self
+
+    # ------------------------------------------------------------------
+    # Derived configuration
+    # ------------------------------------------------------------------
+    @property
+    def machine_model(self) -> MachineModel:
+        return self._machine
+
+    @property
+    def store_path(self) -> Optional[str]:
+        return self._store_path
+
+    @property
+    def worker_count(self) -> int:
+        return self._workers
+
+    def model_options(self, *, fallback: Optional[bool] = None) -> ModelOptions:
+        return ModelOptions(
+            equalization=self._toggles["equalization"],
+            rasterization=self._toggles["rasterization"],
+            partial_enumeration=self._toggles["partial_enumeration"],
+            fallback_to_simulation=(
+                self._toggles["fallback"] if fallback is None else fallback
+            ),
+            cross_check=self._toggles["cross_check"],
+            symbolic_work_budget=self._budget,
+            store_path=self._store_path,
+        )
+
+    def cache_model(self, *, fallback: Optional[bool] = None) -> CacheModel:
+        """A :class:`CacheModel` bound to this session's machine and options."""
+        return CacheModel(self._machine, self.model_options(fallback=fallback))
+
+    def open_store(self):
+        """The session's :class:`AnalysisStore` handle, or ``None``."""
+        if not self._store_path:
+            return None
+        from ..engine.store import AnalysisStore
+
+        return AnalysisStore(self._store_path)
+
+    def job_spec(
+        self,
+        kernel: str,
+        dataset: str = "mini",
+        *,
+        scop: Optional[Scop] = None,
+        levels: Optional[Sequence[int]] = None,
+    ) -> JobSpec:
+        """The :class:`JobSpec` this session would run for one kernel/scop."""
+        sizes = (
+            _coerce_levels(levels)
+            if levels is not None
+            else tuple(level.size for level in self._machine.levels)
+        )
+        return JobSpec(
+            kernel=kernel,
+            dataset=dataset,
+            scop=scop,
+            line_size=self._machine.line_size,
+            levels=sizes,
+            fallback=self._toggles["fallback"],
+            equalization=self._toggles["equalization"],
+            rasterization=self._toggles["rasterization"],
+            partial_enumeration=self._toggles["partial_enumeration"],
+            symbolic_work_budget=self._budget,
+            cross_check=self._toggles["cross_check"],
+        )
+
+    # ------------------------------------------------------------------
+    # Requests and runs
+    # ------------------------------------------------------------------
+    def kernels(self, *names: str) -> "AnalysisRequest":
+        """Open a batch request over registered kernel names."""
+        return AnalysisRequest(self).kernels(*names)
+
+    def scops(self, *scops: Scop) -> "AnalysisRequest":
+        """Open a batch request over pre-built :class:`Scop` programs."""
+        return AnalysisRequest(self).scops(*scops)
+
+    def _engine(self) -> BatchEngine:
+        return BatchEngine(self._workers, store_path=self._store_path)
+
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        *,
+        progress: Optional[Callable[[JobRecord, int, int], None]] = None,
+        error_policy: str = "continue",
+    ) -> BatchResult:
+        """Run explicit :class:`JobSpec` records through the session's pool."""
+        return self._engine().run(specs, progress=progress, error_policy=error_policy)
+
+    def run_iter(
+        self,
+        specs: Sequence[JobSpec],
+        *,
+        progress: Optional[Callable[[JobRecord, int, int], None]] = None,
+        error_policy: str = "continue",
+    ) -> Iterator[JobRecord]:
+        """Stream :class:`JobRecord` results as the pool completes them."""
+        return self._engine().run_iter(specs, progress=progress, error_policy=error_policy)
+
+    def analyze(
+        self,
+        target: Union[str, Scop],
+        dataset: Optional[str] = None,
+        *,
+        overrides=None,
+    ) -> ModelResult:
+        """Analyse one kernel (by registered name) or one :class:`Scop`.
+
+        Honors the session's machine, options, budget, and store: with a
+        store configured the result round-trips through it exactly like a
+        batch job would.  Raises on analysis failure (batch runs capture
+        errors per record instead).
+        """
+        if isinstance(target, Scop):
+            if dataset is not None or overrides:
+                raise SessionConfigError(
+                    "dataset/overrides only apply to kernel names; "
+                    "build the Scop with the desired sizes instead"
+                )
+            scop = target
+            spec = self.job_spec(scop.name, scop=scop)
+        else:
+            entry = self._registry.get_kernel(target)
+            dataset = dataset if dataset is not None else entry.datasets[0]
+            scop = entry.build(dataset, overrides)
+            # Size overrides change the program identity, so the spec must
+            # carry the structural fingerprint instead of the kernel name.
+            spec = (
+                self.job_spec(target, dataset)
+                if not overrides
+                else self.job_spec(target, scop=scop)
+            )
+        store = self.open_store()
+        digest = None
+        if store is not None:
+            from ..engine.store import job_digest
+
+            digest = job_digest(spec)
+            payload = store.get_result(digest)
+            if payload is not None:
+                try:
+                    return ModelResult.from_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    pass
+        result = self.cache_model().analyze(scop)
+        if store is not None:
+            store.put_result(digest, result.to_dict())
+        return result
+
+    def build_scop(
+        self, kernel: str, dataset: str = "mini", *, overrides=None
+    ) -> Scop:
+        """Instantiate a registered kernel (registry lookup + dataset sizes)."""
+        return self._registry.get_kernel(kernel).build(dataset, overrides)
+
+    def __repr__(self) -> str:
+        levels = "+".join(str(level.size) for level in self._machine.levels)
+        return (
+            f"Session(machine={levels}@{self._machine.line_size}B, "
+            f"budget={self._budget}, workers={self._workers}, "
+            f"store={self._store_path or 'off'})"
+        )
+
+
+class AnalysisRequest:
+    """Fluent description of a batch: kernels/scops x datasets x level sets.
+
+    Built by :meth:`Session.kernels` / :meth:`Session.scops`; the cross
+    product expands in deterministic row-major order (kernels outermost,
+    then datasets, then level sets, then explicit scops), so batch results
+    are reproducible regardless of worker count.
+    """
+
+    def __init__(self, session: Session) -> None:
+        self._session = session
+        self._kernels: List[str] = []
+        self._scops: List[Scop] = []
+        self._datasets: Optional[List[str]] = None
+        self._level_sets: Optional[List[Tuple[int, ...]]] = None
+
+    def kernels(self, *names: str) -> "AnalysisRequest":
+        """Add kernels by registered name (validated immediately)."""
+        for name in names:
+            self._session._registry.get_kernel(name)  # raises RegistryError on typos
+            self._kernels.append(name)
+        return self
+
+    def scops(self, *scops: Scop) -> "AnalysisRequest":
+        for scop in scops:
+            if not isinstance(scop, Scop):
+                raise SessionConfigError(
+                    f"scops() takes Scop instances, got {type(scop).__name__}"
+                )
+            self._scops.append(scop)
+        return self
+
+    def datasets(self, *names: str) -> "AnalysisRequest":
+        """Dataset classes to sweep (default: each kernel's first dataset)."""
+        if not names:
+            raise SessionConfigError("datasets() needs at least one dataset name")
+        self._datasets = list(names)
+        return self
+
+    def levels(self, *level_sets: Union[int, Iterable[int]]) -> "AnalysisRequest":
+        """Cache-hierarchy sweeps: each argument is one set of level sizes in
+        bytes (default: the session machine's hierarchy)."""
+        if not level_sets:
+            raise SessionConfigError("levels() needs at least one level set")
+        self._level_sets = [_coerce_levels(levels) for levels in level_sets]
+        return self
+
+    def specs(self) -> List[JobSpec]:
+        """Expand the request into :class:`JobSpec` records (validating it)."""
+        if not self._kernels and not self._scops:
+            raise SessionConfigError(
+                "nothing to analyse: add kernels(...) or scops(...) before running"
+            )
+        session = self._session
+        level_sets = self._level_sets or [
+            tuple(level.size for level in session.machine_model.levels)
+        ]
+        specs: List[JobSpec] = []
+        for name in self._kernels:
+            entry = session._registry.get_kernel(name)
+            datasets = self._datasets or [entry.datasets[0]]
+            # Builtins and entry-point plugins re-resolve by name inside pool
+            # workers, but a kernel registered programmatically in *this*
+            # process is invisible to spawn-started workers — ship the built
+            # scop in the spec so multi-worker runs stay platform-independent
+            # (single-worker runs keep building lazily in the inline path).
+            ship_scop = entry.source == "user" and session.worker_count > 1
+            for dataset in datasets:
+                if dataset not in entry.datasets:
+                    raise SessionConfigError(
+                        f"kernel {name!r} has no dataset {dataset!r}; "
+                        f"available: {', '.join(entry.datasets)}"
+                    )
+                scop = entry.build(dataset) if ship_scop else None
+                for levels in level_sets:
+                    specs.append(session.job_spec(name, dataset, scop=scop, levels=levels))
+        for scop in self._scops:
+            for levels in level_sets:
+                specs.append(session.job_spec(scop.name, scop=scop, levels=levels))
+        return specs
+
+    def run(
+        self,
+        *,
+        progress: Optional[Callable[[JobRecord, int, int], None]] = None,
+        error_policy: str = "continue",
+    ) -> BatchResult:
+        """Run the request through the session's worker pool."""
+        return self._session.run(self.specs(), progress=progress, error_policy=error_policy)
+
+    def run_iter(
+        self,
+        *,
+        progress: Optional[Callable[[JobRecord, int, int], None]] = None,
+        error_policy: str = "continue",
+    ) -> Iterator[JobRecord]:
+        """Stream records as they complete (see :meth:`BatchEngine.run_iter`)."""
+        return self._session.run_iter(
+            self.specs(), progress=progress, error_policy=error_policy
+        )
+
+    def __repr__(self) -> str:
+        parts = [f"kernels={self._kernels!r}"]
+        if self._scops:
+            parts.append(f"scops={[scop.name for scop in self._scops]!r}")
+        if self._datasets:
+            parts.append(f"datasets={self._datasets!r}")
+        if self._level_sets:
+            parts.append(f"levels={self._level_sets!r}")
+        return f"AnalysisRequest({', '.join(parts)})"

@@ -3,11 +3,17 @@
 Examples::
 
     repro-haystack list
+    repro-haystack kernels --json
     repro-haystack model gemm --dataset mini --l1 32768 --l2 1048576
+    repro-haystack model gemm --dataset mini --machine paper-xeon
     repro-haystack simulate jacobi-1d --dataset mini --l1 32768
     repro-haystack compare trisolv --dataset mini --l1 4096
     repro-haystack batch --kernels gemm,atax,mvt --jobs 4 --output results.json
     repro-haystack bench --suite smoke --compare
+
+Every analysis command is a thin wrapper over :class:`repro.api.Session`;
+kernel and machine names resolve through :mod:`repro.api.registry`, so
+plugin-contributed kernels are first-class citizens here too.
 """
 
 from __future__ import annotations
@@ -18,12 +24,15 @@ import sys
 import tempfile
 from typing import List, Optional, Tuple
 
-from .core import CacheLevelSpec, CacheModel, MachineModel, ModelOptions
+from .api import Session
+from .api import registry
+from .api.registry import RegistryError
+from .api.session import SessionConfigError
+from .core import CacheLevelSpec, MachineModel
 from .core.budget import BudgetExhausted
 from .core.prevmap import ModelFallbackRequired
 from .core.results import ModelResult
-from .engine import BatchEngine, JobSpec, expand_matrix
-from .engine.store import AnalysisStore, default_store_path, job_digest
+from .engine.store import default_store_path, job_digest
 from .reporting import format_batch_summary, format_table
 from .reporting.bench import (
     compare_reports,
@@ -34,7 +43,6 @@ from .reporting.bench import (
     suite_names,
     write_report,
 )
-from .scop.polybench import build_kernel, dataset_names, kernel_names
 from .simulator import CacheLevelConfig, DineroSimulator
 
 __all__ = ["main"]
@@ -43,6 +51,16 @@ __all__ = ["main"]
 #: trip it within seconds and degrade to the exact trace-based fallback
 #: (flagged in the output); ``--budget 0`` removes the bound.
 DEFAULT_WORK_BUDGET = 10_000
+
+#: Cache-geometry defaults applied when neither ``--machine`` nor explicit
+#: flags are given (kept as ``None`` argparse defaults so a preset and an
+#: explicit override can be told apart).
+DEFAULT_LINE_SIZE = 64
+DEFAULT_L1_BYTES = 32 * 1024
+
+
+class _ArgsError(Exception):
+    """Invalid flag combination; the message goes to stderr, exit code 2."""
 
 
 def _budget_value(args) -> Optional[int]:
@@ -81,20 +99,62 @@ def _warn_fallback(args, exc: Exception) -> None:
     sys.stderr.flush()
 
 
-def _analyze_for_cli(args, scop, store_path: Optional[str] = None):
+def _machine_from_args(args) -> MachineModel:
+    """Resolve ``--machine NAME`` or the raw ``--line-size/--l1/--l2/--l3`` flags."""
+    explicit = [
+        flag
+        for flag, attr in (("--line-size", "line_size"), ("--l1", "l1"), ("--l2", "l2"), ("--l3", "l3"))
+        if getattr(args, attr, None) is not None
+    ]
+    if getattr(args, "machine", None):
+        if explicit:
+            raise _ArgsError(
+                f"--machine {args.machine} cannot be combined with {', '.join(explicit)}; "
+                "name a preset or shape the hierarchy by hand, not both"
+            )
+        try:
+            return registry.get_machine(args.machine).build()
+        except RegistryError as exc:
+            raise _ArgsError(str(exc)) from None
+        except Exception as exc:  # noqa: BLE001 - a broken factory is a user-facing error
+            raise _ArgsError(f"machine {args.machine!r} failed to build: {exc}") from None
+    line_size = args.line_size if args.line_size is not None else DEFAULT_LINE_SIZE
+    l1 = args.l1 if args.l1 is not None else DEFAULT_L1_BYTES
+    levels = [CacheLevelSpec(l1, "L1")]
+    if getattr(args, "l2", None):
+        levels.append(CacheLevelSpec(args.l2, "L2"))
+    if getattr(args, "l3", None):
+        levels.append(CacheLevelSpec(args.l3, "L3"))
+    return MachineModel(line_size=line_size, levels=tuple(levels))
+
+
+def _store_path(args) -> Optional[str]:
+    """Resolved store root: ``--no-store`` disables, ``--store-path`` overrides."""
+    if args.no_store:
+        return None
+    return args.store_path or default_store_path()
+
+
+def _session_from_args(args, machine: MachineModel) -> Session:
+    """The configured façade every analysis command runs through."""
+    session = Session().machine(machine).budget(_budget_value(args))
+    if getattr(args, "no_fallback", False):
+        session.options(fallback=False)
+    path = _store_path(args)
+    if path:
+        session.store(path)
+    return session
+
+
+def _analyze_for_cli(args, session: Session, scop):
     """Symbolic analysis first; on failure warn, then run the exact fallback.
 
     Returns ``(result, exit_code)`` with ``result=None`` when ``--no-fallback``
     turned the failure into an error.
     """
-    model = CacheModel(
-        _machine(args),
-        ModelOptions(
-            fallback_to_simulation=False,
-            symbolic_work_budget=_budget_value(args),
-            store_path=store_path,
-        ),
-    )
+    # Fallback is disabled on the model so the CLI can warn the user before
+    # the (potentially long) trace enumeration starts.
+    model = session.cache_model(fallback=False)
     try:
         return model.analyze(scop), 0
     except (ModelFallbackRequired, BudgetExhausted) as exc:
@@ -107,44 +167,21 @@ def _analyze_for_cli(args, scop, store_path: Optional[str] = None):
         return result, 0
 
 
-def _store_path(args) -> Optional[str]:
-    """Resolved store root: ``--no-store`` disables, ``--store-path`` overrides."""
-    if args.no_store:
-        return None
-    return args.store_path or default_store_path()
-
-
-def _job_spec_for_args(args) -> JobSpec:
-    """Content-addressed identity of a single ``model``/``compare`` run.
-
-    The level tuple must mirror :func:`_machine` exactly — L1 is always
-    present (even at size 0) while L2/L3 are optional — otherwise distinct
-    hierarchies alias to one store digest and serve each other's results.
-    """
-    levels = [args.l1] + ([args.l2] if args.l2 else []) + ([args.l3] if args.l3 else [])
-    return JobSpec(
-        kernel=args.kernel,
-        dataset=args.dataset,
-        line_size=args.line_size,
-        levels=tuple(levels),
-        fallback=not args.no_fallback,
-        symbolic_work_budget=_budget_value(args),
-    )
-
-
-def _model_result_with_store(args, scop) -> Tuple[Optional[ModelResult], bool, int]:
+def _model_result_with_store(args, session: Session, scop) -> Tuple[Optional[ModelResult], bool, int]:
     """Analytical result via the persistent store: ``(result, cached, exit_code)``."""
-    path = _store_path(args)
-    store = AnalysisStore(path) if path else None
-    digest = job_digest(_job_spec_for_args(args)) if store is not None else None
+    store = session.open_store()
+    digest = None
     if store is not None:
+        # The spec mirrors the session machine exactly (L1 always present,
+        # L2/L3 optional), so distinct hierarchies never alias one digest.
+        digest = job_digest(session.job_spec(args.kernel, args.dataset))
         payload = store.get_result(digest)
         if payload is not None:
             try:
                 return ModelResult.from_dict(payload), True, 0
             except (KeyError, TypeError, ValueError):
                 pass
-    result, exit_code = _analyze_for_cli(args, scop, store_path=path)
+    result, exit_code = _analyze_for_cli(args, session, scop)
     if result is not None and store is not None:
         store.put_result(digest, result.to_dict())
     return result, False, exit_code
@@ -174,19 +211,14 @@ def _model_stats_line(result: ModelResult, cached: bool, store_enabled: bool) ->
     return ", ".join(parts)
 
 
-def _machine(args) -> MachineModel:
-    levels = [CacheLevelSpec(args.l1, "L1")]
-    if args.l2:
-        levels.append(CacheLevelSpec(args.l2, "L2"))
-    if args.l3:
-        levels.append(CacheLevelSpec(args.l3, "L3"))
-    return MachineModel(line_size=args.line_size, levels=tuple(levels))
-
-
-def _simulator(args) -> DineroSimulator:
-    sizes = [args.l1] + ([args.l2] if args.l2 else []) + ([args.l3] if args.l3 else [])
+def _simulator(machine: MachineModel, associativity: Optional[int]) -> DineroSimulator:
     return DineroSimulator(
-        [CacheLevelConfig(cache_size=size, line_size=args.line_size, associativity=args.associativity) for size in sizes]
+        [
+            CacheLevelConfig(
+                cache_size=level.size, line_size=machine.line_size, associativity=associativity
+            )
+            for level in machine.levels
+        ]
     )
 
 
@@ -201,13 +233,26 @@ def _add_budget_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--machine",
+        metavar="NAME",
+        default=None,
+        help="named machine preset from the registry (see `kernels`); "
+        "mutually exclusive with the raw cache-geometry flags",
+    )
+    parser.add_argument("--line-size", type=int, default=None, help=f"line size in bytes (default {DEFAULT_LINE_SIZE})")
+    parser.add_argument("--l1", type=int, default=None, help=f"L1 size in bytes (default {DEFAULT_L1_BYTES})")
+    parser.add_argument("--l2", type=int, default=None, help="L2 size in bytes (0 = disabled)")
+    parser.add_argument("--l3", type=int, default=None, help="L3 size in bytes (0 = disabled)")
+
+
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("kernel", help="PolyBench kernel name (see `list`)")
-    parser.add_argument("--dataset", default="mini", choices=dataset_names(), help="problem size class")
-    parser.add_argument("--line-size", type=int, default=64)
-    parser.add_argument("--l1", type=int, default=32 * 1024, help="L1 size in bytes")
-    parser.add_argument("--l2", type=int, default=0, help="L2 size in bytes (0 = disabled)")
-    parser.add_argument("--l3", type=int, default=0, help="L3 size in bytes (0 = disabled)")
+    parser.add_argument("kernel", help="kernel name (see `list`)")
+    parser.add_argument(
+        "--dataset", default="mini", help="problem size class (default: mini)"
+    )
+    _add_machine_arguments(parser)
 
 
 def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
@@ -229,7 +274,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro-haystack", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list the available PolyBench kernels")
+    subparsers.add_parser("list", help="list the available kernel names")
+
+    kernels_parser = subparsers.add_parser(
+        "kernels", help="list registered kernels, datasets and machine presets"
+    )
+    kernels_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output instead of tables"
+    )
 
     model_parser = subparsers.add_parser("model", help="run the analytical cache model")
     _add_cache_arguments(model_parser)
@@ -254,18 +306,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     batch_parser.add_argument(
         "--kernels",
         required=True,
-        help="comma-separated kernel names, or 'all' for the full PolyBench suite",
+        help="comma-separated kernel names, or 'all' for every registered kernel",
     )
     batch_parser.add_argument(
         "--datasets", default="mini", help="comma-separated dataset classes (default: mini)"
     )
     batch_parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N", help="worker processes")
     batch_parser.add_argument("--output", metavar="FILE", help="write the batch results as JSON")
-    batch_parser.add_argument("--line-size", type=int, default=64)
-    batch_parser.add_argument("--l1", type=int, default=32 * 1024, help="L1 size in bytes")
-    batch_parser.add_argument("--l2", type=int, default=0, help="L2 size in bytes (0 = disabled)")
-    batch_parser.add_argument("--l3", type=int, default=0, help="L3 size in bytes (0 = disabled)")
+    _add_machine_arguments(batch_parser)
     batch_parser.add_argument("--no-fallback", action="store_true", help="record an error instead of falling back")
+    batch_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream one line per job to stderr as the pool completes them",
+    )
     _add_budget_argument(batch_parser)
     _add_store_arguments(batch_parser)
 
@@ -315,9 +369,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        for name in kernel_names():
+        for name in registry.kernel_names():
             print(name)
         return 0
+
+    if args.command == "kernels":
+        return _run_kernels(args)
 
     if args.command == "batch":
         return _run_batch(args)
@@ -325,15 +382,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench":
         return _run_bench(args)
 
-    if args.kernel not in kernel_names():
+    try:
+        machine = _machine_from_args(args)
+    except (_ArgsError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        entry = registry.get_kernel(args.kernel)
+    except RegistryError:
         print(
             f"unknown kernel {args.kernel!r}; run `repro-haystack list` for the available kernels",
             file=sys.stderr,
         )
         return 2
-    scop = build_kernel(args.kernel, args.dataset)
+    try:
+        scop = entry.build(args.dataset)
+    except RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
     if args.command == "model":
-        result, cached, exit_code = _model_result_with_store(args, scop)
+        session = _session_from_args(args, machine)
+        result, cached, exit_code = _model_result_with_store(args, session, scop)
         if result is None:
             return exit_code
         rows = [
@@ -346,7 +416,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "simulate":
-        result = _simulator(args).run(scop)
+        result = _simulator(machine, args.associativity).run(scop)
         rows = [
             (f"L{i+1}", stats.accesses, stats.compulsory_misses, stats.capacity_misses + stats.conflict_misses, stats.misses, stats.hits)
             for i, stats in enumerate(result.levels)
@@ -357,10 +427,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "compare":
-        model_result, cached, exit_code = _model_result_with_store(args, scop)
+        session = _session_from_args(args, machine)
+        model_result, cached, exit_code = _model_result_with_store(args, session, scop)
         if model_result is None:
             return exit_code
-        sim_result = _simulator(args).run(scop)
+        sim_result = _simulator(machine, args.associativity).run(scop)
         rows = []
         disagreement = 0
         for index, level in enumerate(model_result.level_results):
@@ -382,9 +453,55 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 1
 
 
+def _run_kernels(args) -> int:
+    """``kernels`` subcommand: everything the registries know about."""
+    kernels = [
+        {"name": entry.name, "datasets": list(entry.datasets), "source": entry.source}
+        for entry in registry.kernel_entries()
+    ]
+    machines = []
+    for entry in registry.machine_entries():
+        # A broken factory (e.g. a buggy plugin) must not take down the one
+        # command users run to see what registered; warn and keep listing.
+        try:
+            model = entry.build()
+        except Exception as exc:  # noqa: BLE001 - plugin isolation
+            print(f"warning: machine {entry.name!r} failed to build: {exc}", file=sys.stderr)
+            continue
+        machines.append(
+            {
+                "name": entry.name,
+                "levels": [level.size for level in model.levels],
+                "line_size": model.line_size,
+                "description": entry.description,
+                "source": entry.source,
+            }
+        )
+    if args.json:
+        print(json.dumps({"kernels": kernels, "machines": machines}, indent=2, sort_keys=True))
+        return 0
+    kernel_rows = [(k["name"], ", ".join(k["datasets"]), k["source"]) for k in kernels]
+    machine_rows = [
+        (
+            m["name"],
+            "+".join(str(size) for size in m["levels"]),
+            m["line_size"],
+            m["description"] or "-",
+            m["source"],
+        )
+        for m in machines
+    ]
+    print(format_table(["kernel", "datasets", "source"], kernel_rows,
+                       title=f"{len(kernel_rows)} registered kernels"))
+    print()
+    print(format_table(["machine", "levels [B]", "line [B]", "description", "source"], machine_rows,
+                       title=f"{len(machine_rows)} registered machine presets"))
+    return 0
+
+
 def _run_batch(args) -> int:
     if args.kernels.strip().lower() == "all":
-        kernels = kernel_names()
+        kernels = registry.kernel_names()
     else:
         kernels = [name.strip() for name in args.kernels.split(",") if name.strip()]
     datasets = [name.strip() for name in args.datasets.split(",") if name.strip()]
@@ -394,27 +511,37 @@ def _run_batch(args) -> int:
     if not datasets:
         print("no datasets given (use --datasets name[,name...])", file=sys.stderr)
         return 2
-    unknown = [name for name in kernels if name not in kernel_names()]
+    known = set(registry.kernel_names())
+    unknown = [name for name in kernels if name not in known]
     if unknown:
         print(f"unknown kernels: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    invalid = [name for name in datasets if name not in dataset_names()]
+    known_datasets = set(registry.dataset_names())
+    invalid = [name for name in datasets if name not in known_datasets]
     if invalid:
         print(f"unknown datasets: {', '.join(invalid)}", file=sys.stderr)
         return 2
-    if args.l1 <= 0:
+    if args.l1 is not None and args.l1 <= 0:
         print("--l1 must be a positive size in bytes (only L2/L3 can be disabled with 0)", file=sys.stderr)
         return 2
-    levels = tuple(size for size in (args.l1, args.l2, args.l3) if size)
-    specs = expand_matrix(
-        kernels,
-        datasets,
-        [levels],
-        line_size=args.line_size,
-        fallback=not args.no_fallback,
-        symbolic_work_budget=_budget_value(args),
-    )
-    batch = BatchEngine(args.jobs, store_path=_store_path(args)).run(specs)
+    try:
+        machine = _machine_from_args(args)
+    except (_ArgsError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    session = _session_from_args(args, machine).workers(args.jobs)
+    progress = None
+    if args.progress:
+        def progress(record, done, total):
+            status = record.status if not record.cached else "cached"
+            print(f"[{done}/{total}] {record.kernel}/{record.dataset}: {status} "
+                  f"({record.elapsed_seconds:.2f}s)", file=sys.stderr)
+            sys.stderr.flush()
+    try:
+        batch = session.kernels(*kernels).datasets(*datasets).run(progress=progress)
+    except (SessionConfigError, RegistryError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     print(format_batch_summary(batch))
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -305,5 +305,18 @@ def analyze_kernel(
     machine: Optional[MachineModel] = None,
     options: Optional[ModelOptions] = None,
 ) -> ModelResult:
-    """Convenience wrapper: analyse ``scop`` with the given machine model."""
+    """Deprecated wrapper around :class:`repro.api.Session`.
+
+    Prefer ``Session().machine(machine).analyze(scop)`` — the session façade
+    owns machine model, options, budget, and store in one place.  This shim
+    keeps old call sites working and will be removed in a future release.
+    """
+    import warnings
+
+    warnings.warn(
+        "analyze_kernel() is deprecated; use repro.api.Session "
+        "(e.g. Session().machine(...).analyze(scop)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return CacheModel(machine, options).analyze(scop)

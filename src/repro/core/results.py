@@ -5,7 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-__all__ = ["AccessMissCounts", "LevelMissCounts", "ModelResult", "TimingBreakdown"]
+__all__ = ["AccessMissCounts", "LevelMissCounts", "ModelResult", "SCHEMA_VERSION", "TimingBreakdown"]
+
+#: JSON schema version of serialized :class:`ModelResult` payloads.
+#: :meth:`ModelResult.from_dict` is tolerant: payloads without the field
+#: (written before versioning existed) are accepted, unknown extra keys are
+#: ignored, and only payloads declaring a *newer* version are rejected.
+SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -234,6 +240,7 @@ class ModelResult:
     def to_dict(self) -> Dict:
         """Full JSON-serializable form; inverse of :meth:`from_dict`."""
         return {
+            "schema_version": SCHEMA_VERSION,
             "kernel": self.kernel,
             "levels": [level.to_dict() for level in self.level_results],
             "per_access": [entry.to_dict() for entry in self.per_access],
@@ -250,6 +257,12 @@ class ModelResult:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ModelResult":
+        version = data.get("schema_version", 1)
+        if isinstance(version, int) and version > SCHEMA_VERSION:
+            raise ValueError(
+                f"model result payload has schema_version {version}; "
+                f"this build reads <= {SCHEMA_VERSION}"
+            )
         return cls(
             kernel=data["kernel"],
             level_results=[LevelMissCounts.from_dict(entry) for entry in data.get("levels", [])],

@@ -29,6 +29,7 @@ __all__ = [
     "BatchResult",
     "CardinalityCache",
     "CardinalityCacheStats",
+    "JobError",
     "JobRecord",
     "JobSpec",
     "PersistentCardinalityCache",
@@ -43,6 +44,7 @@ __all__ = [
 _LAZY = {
     "BatchEngine": "batch",
     "BatchResult": "batch",
+    "JobError": "batch",
     "JobRecord": "batch",
     "run_batch": "batch",
     "JobSpec": "jobs",

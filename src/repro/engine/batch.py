@@ -28,18 +28,33 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core import CacheLevelSpec, CacheModel, MachineModel, ModelOptions
 from ..core.results import ModelResult
 from .jobs import JobSpec
 from .store import AnalysisStore, job_digest
 
-__all__ = ["BatchEngine", "BatchResult", "JobRecord", "run_batch"]
+__all__ = ["BatchEngine", "BatchResult", "JobError", "JobRecord", "run_batch"]
 
-#: JSON schema version of the serialized batch payload.
-SCHEMA_VERSION = 2
+#: JSON schema version of the serialized batch payload.  Version 3 added
+#: ``schema_version`` to the embedded model results and the ``index`` field
+#: on job records; readers tolerate older payloads (missing fields get
+#: defaults) and reject newer ones.
+SCHEMA_VERSION = 3
+
+#: Error policies accepted by :meth:`BatchEngine.run_iter`.
+ERROR_POLICIES = ("continue", "stop", "raise")
+
+
+class JobError(RuntimeError):
+    """Raised by ``error_policy="raise"`` when a job records a failure."""
+
+    def __init__(self, record: "JobRecord") -> None:
+        super().__init__(f"job {record.kernel}/{record.dataset} failed: {record.error}")
+        self.record = record
 
 
 @dataclass
@@ -57,6 +72,10 @@ class JobRecord:
     #: True when the result was served from the persistent analysis store
     #: instead of being computed by this run.
     cached: bool = False
+    #: Position in the submitted spec list (streaming consumers receive
+    #: records in completion order and use this to re-establish job order);
+    #: ``-1`` when the record was built outside an engine run.
+    index: int = -1
 
     @property
     def ok(self) -> bool:
@@ -76,6 +95,7 @@ class JobRecord:
             "error": self.error,
             "elapsed_seconds": self.elapsed_seconds,
             "cached": self.cached,
+            "index": self.index,
             "result": self.result.to_dict() if self.result is not None else None,
         }
 
@@ -91,6 +111,7 @@ class JobRecord:
             error=data.get("error", ""),
             elapsed_seconds=data.get("elapsed_seconds", 0.0),
             cached=data.get("cached", False),
+            index=data.get("index", -1),
             result=ModelResult.from_dict(result) if result is not None else None,
         )
 
@@ -180,6 +201,11 @@ class BatchResult:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "BatchResult":
+        version = data.get("schema_version", 1)
+        if isinstance(version, int) and version > SCHEMA_VERSION:
+            raise ValueError(
+                f"batch payload has schema_version {version}; this build reads <= {SCHEMA_VERSION}"
+            )
         store_stats = data.get("store_stats")
         return cls(
             records=[JobRecord.from_dict(entry) for entry in data.get("jobs", [])],
@@ -198,24 +224,28 @@ def _blank_record(spec: JobSpec) -> JobRecord:
     )
 
 
-def _execute_job(payload: Tuple[JobSpec, Optional[str]]) -> JobRecord:
+def _execute_job(payload: Tuple[int, JobSpec, Optional[str]]) -> JobRecord:
     """Worker entry point: run one job, capturing any failure on the record.
 
     Module-level so it pickles for the pool; must stay side-effect free
     apart from the returned record (and the shared analysis store, whose
     writes are atomic and idempotent).  The store path travels alongside the
-    spec — it configures the run but is not part of the job's identity.
+    spec — it configures the run but is not part of the job's identity.  The
+    index rides along so unordered streaming results can be re-sequenced.
     """
-    spec, store_path = payload
+    index, spec, store_path = payload
     record = _blank_record(spec)
+    record.index = index
     start = time.perf_counter()
     try:
         if spec.scop is not None:
             scop = spec.scop
         else:
-            from ..scop.polybench import build_kernel
+            # Registry lookup (not the hardcoded PolyBench dict): registered
+            # and plugin-discovered kernels are batch-runnable like builtins.
+            from ..api import registry
 
-            scop = build_kernel(spec.kernel, spec.dataset)
+            scop = registry.get_kernel(spec.kernel).build(spec.dataset)
         machine = MachineModel(
             line_size=spec.line_size,
             levels=tuple(
@@ -250,6 +280,12 @@ class BatchEngine:
     With ``store_path`` set, runs are incremental: jobs whose digest is
     already in the persistent store come back as ``cached`` records and only
     the misses are dispatched to the pool.
+
+    :meth:`run_iter` is the streaming primitive — it yields every
+    :class:`JobRecord` the moment it exists (store hits first, then computed
+    records in completion order).  :meth:`run` is built on top of it and
+    re-establishes job-list order, so a parallel batch stays byte-identical
+    to the sequential one.
     """
 
     def __init__(self, jobs: int = 1, store_path: Optional[str] = None) -> None:
@@ -258,40 +294,112 @@ class BatchEngine:
         self.jobs = jobs
         self.store_path = store_path
 
-    def run(self, specs: Sequence[JobSpec]) -> BatchResult:
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        *,
+        progress: Optional[Callable[[JobRecord, int, int], None]] = None,
+        error_policy: str = "continue",
+    ) -> BatchResult:
         start = time.perf_counter()
+        specs = list(specs)
         store = AnalysisStore(self.store_path) if self.store_path else None
-        records: List[Optional[JobRecord]] = [None] * len(specs)
-        digests: List[Optional[str]] = [None] * len(specs)
-        pending: List[int] = []
-        for index, spec in enumerate(specs):
-            if store is None:
-                pending.append(index)
-                continue
-            digests[index] = job_digest(spec)
-            payload = store.get_result(digests[index])
-            record = _record_from_store(spec, payload) if payload is not None else None
-            if record is None:
-                pending.append(index)
-            else:
-                records[index] = record
-        worker_count = min(self.jobs, len(pending)) or 1
-        payloads = [(specs[index], self.store_path) for index in pending]
-        if worker_count == 1:
-            computed = [_execute_job(payload) for payload in payloads]
-        else:
-            with multiprocessing.Pool(processes=worker_count) as pool:
-                computed = pool.map(_execute_job, payloads, chunksize=1)
-        for index, record in zip(pending, computed):
-            records[index] = record
-            if store is not None and record.ok and record.result is not None:
-                store.put_result(digests[index], record.result.to_dict())
+        records = sorted(
+            self._run_iter(specs, store, progress=progress, error_policy=error_policy),
+            key=lambda record: record.index,
+        )
+        computed = sum(1 for record in records if not record.cached)
         return BatchResult(
-            records=[record for record in records if record is not None],
-            worker_count=worker_count,
+            records=records,
+            worker_count=min(self.jobs, computed) or 1,
             elapsed_seconds=time.perf_counter() - start,
             store_stats=store.stats.as_dict() if store is not None else None,
         )
+
+    def run_iter(
+        self,
+        specs: Sequence[JobSpec],
+        *,
+        progress: Optional[Callable[[JobRecord, int, int], None]] = None,
+        error_policy: str = "continue",
+    ) -> Iterator[JobRecord]:
+        """Yield job records as they complete (streaming counterpart of ``run``).
+
+        Records served from the persistent store come first, in spec order;
+        computed records follow in completion order (``record.index`` maps
+        them back to their spec).  ``progress(record, done, total)`` is
+        invoked before each yield.  ``error_policy`` decides what a failed
+        job does to the rest of the batch:
+
+        * ``"continue"`` (default) — yield the error record and keep going;
+        * ``"stop"`` — yield the error record, then stop dispatching;
+        * ``"raise"`` — raise :class:`JobError` (the record rides on it).
+        """
+        store = AnalysisStore(self.store_path) if self.store_path else None
+        return self._run_iter(list(specs), store, progress=progress, error_policy=error_policy)
+
+    def _run_iter(
+        self,
+        specs: List[JobSpec],
+        store: Optional[AnalysisStore],
+        *,
+        progress: Optional[Callable[[JobRecord, int, int], None]],
+        error_policy: str,
+    ) -> Iterator[JobRecord]:
+        if error_policy not in ERROR_POLICIES:
+            raise ValueError(
+                f"unknown error_policy {error_policy!r}; choose from {', '.join(ERROR_POLICIES)}"
+            )
+        total = len(specs)
+        done = 0
+        digests: List[Optional[str]] = [None] * total
+        cached: List[JobRecord] = []
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            record = None
+            if store is not None:
+                digests[index] = job_digest(spec)
+                payload = store.get_result(digests[index])
+                if payload is not None:
+                    record = _record_from_store(spec, payload)
+            if record is None:
+                pending.append(index)
+            else:
+                record.index = index
+                cached.append(record)
+        for record in cached:
+            done += 1
+            if progress is not None:
+                progress(record, done, total)
+            yield record
+        if not pending:
+            return
+        worker_count = min(self.jobs, len(pending))
+        payloads = [(index, specs[index], self.store_path) for index in pending]
+        pool = None
+        if worker_count == 1:
+            # Lazy inline execution: each job runs only when the consumer
+            # advances the iterator, so partial results stream immediately.
+            results: Iterator[JobRecord] = map(_execute_job, payloads)
+        else:
+            pool = multiprocessing.Pool(processes=worker_count)
+            results = pool.imap_unordered(_execute_job, payloads, chunksize=1)
+        try:
+            for record in results:
+                if store is not None and record.ok and record.result is not None:
+                    store.put_result(digests[record.index], record.result.to_dict())
+                done += 1
+                if progress is not None:
+                    progress(record, done, total)
+                if not record.ok and error_policy == "raise":
+                    raise JobError(record)
+                yield record
+                if not record.ok and error_policy == "stop":
+                    return
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
 
 
 def _record_from_store(spec: JobSpec, payload: Dict) -> Optional[JobRecord]:
@@ -309,5 +417,17 @@ def _record_from_store(spec: JobSpec, payload: Dict) -> Optional[JobRecord]:
 def run_batch(
     specs: Sequence[JobSpec], jobs: int = 1, store_path: Optional[str] = None
 ) -> BatchResult:
-    """Convenience wrapper: ``BatchEngine(jobs, store_path).run(specs)``."""
+    """Deprecated wrapper around :class:`repro.api.Session` batch runs.
+
+    Prefer ``Session().workers(jobs).store(store_path).run(specs)`` — the
+    session façade owns machine model, options, budget, and store in one
+    place.  This shim keeps old call sites working and will be removed in a
+    future release.
+    """
+    warnings.warn(
+        "run_batch() is deprecated; use repro.api.Session "
+        "(e.g. Session().workers(n).run(specs)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return BatchEngine(jobs, store_path).run(specs)

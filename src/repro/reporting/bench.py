@@ -27,8 +27,6 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from ..engine import BatchEngine, expand_matrix
-
 __all__ = [
     "SUITES",
     "compare_reports",
@@ -83,7 +81,7 @@ def _calibrate() -> float:
     so wall-time comparisons can be normalized across machines.  One warm-up
     run is excluded, then a fixed number of fresh analyses are timed.
     """
-    from ..core import CacheLevelSpec, CacheModel, MachineModel
+    from ..api import Session
     from ..scop import ScopBuilder
 
     builder = ScopBuilder("calibration", context={"N": 10, "M": 9}, element_size=64)
@@ -93,13 +91,11 @@ def _calibrate() -> float:
         with builder.loop("j", 0, 9):
             builder.stmt(reads=[A[builder.v("i"), builder.v("j")]], writes=[B[builder.v("j"), builder.v("i")]])
     scop = builder.build()
-    machine = MachineModel(
-        line_size=64, levels=(CacheLevelSpec(1024, "L1"), CacheLevelSpec(8192, "L2"))
-    )
-    CacheModel(machine).analyze(scop)
+    session = Session().machine((1024, 8192))
+    session.analyze(scop)
     start = time.perf_counter()
     for _ in range(_CALIBRATION_ROUNDS):
-        CacheModel(machine).analyze(scop)
+        session.analyze(scop)
     return time.perf_counter() - start
 
 
@@ -114,17 +110,19 @@ def run_suite(
         config = SUITES[suite]
     except KeyError:
         raise ValueError(f"unknown bench suite {suite!r}; available: {', '.join(suite_names())}") from None
-    from ..scop.polybench import kernel_names
+    from ..api import Session, registry
 
-    kernels = kernel_names() if config["kernels"] == "all" else list(config["kernels"])
-    specs = expand_matrix(
-        kernels,
-        list(config["datasets"]),
-        [tuple(levels) for levels in config["levels"]],
-        symbolic_work_budget=config["budget"],
+    kernels = registry.kernel_names() if config["kernels"] == "all" else list(config["kernels"])
+    session = Session().budget(config["budget"]).workers(jobs)
+    if store_path:
+        session.store(store_path)
+    request = (
+        session.kernels(*kernels)
+        .datasets(*config["datasets"])
+        .levels(*[tuple(levels) for levels in config["levels"]])
     )
     calibration = _calibrate()
-    batch = BatchEngine(jobs, store_path=store_path).run(specs)
+    batch = request.run()
 
     job_entries = []
     for record in batch.records:

@@ -87,6 +87,32 @@ EXPENSIVE_KERNELS: List[str] = [
 ]
 
 
+def _register_suite() -> None:
+    """Publish the PolyBench suite in the :mod:`repro.api` registry.
+
+    The registry (not this dict) is the public lookup surface; ``KERNELS``
+    stays as the authoritative builder table the registration draws from.
+    """
+    from functools import partial
+
+    from ...api.registry import KernelEntry, add_kernel
+
+    for name, builder in KERNELS.items():
+        add_kernel(
+            KernelEntry(
+                name=name,
+                builder=builder,
+                datasets=tuple(dataset_names()),
+                sizes_for=partial(kernel_sizes, kernel=name),
+                source="builtin",
+            ),
+            replace=True,
+        )
+
+
+_register_suite()
+
+
 def kernel_names() -> List[str]:
     return sorted(KERNELS)
 
