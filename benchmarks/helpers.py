@@ -12,6 +12,15 @@ the cache line size for the kernels used in timing sweeps (which keeps the
 stack-distance polynomials div-free).  Dedicated line-granularity workloads
 (8 elements per line) exercise equalization/rasterization/partial enumeration
 for the experiments that study exactly those code paths (Figure 14, Table 1).
+
+Simulator backends: every trace-driven helper (``run_simulator``,
+``reference_misses``) runs on the backend resolved by ``REPRO_BACKEND`` /
+NumPy availability, exactly like the model's trace fallback.  The regression
+harness additionally carries a ``trace`` workload (see
+``repro.reporting.bench.SUITES``): a fig10-style simulator run timed under
+*both* backends, whose numpy-vs-python speedup ratio lands in
+``BENCH_<suite>.json`` and is gated by ``bench --compare`` (suite floor
+10x).  Figure modules therefore never need to time the backends themselves.
 """
 
 from __future__ import annotations
@@ -339,7 +348,18 @@ def run_simulator(scop: Scop, levels: Tuple[int, ...] = (L1_SIZE, L2_SIZE), asso
 
 
 def reference_misses(scop: Scop, cache_lines: int, line_size: int = LINE) -> Tuple[int, int]:
-    """Exact (compulsory, capacity) misses from the stack-distance profiler."""
+    """Exact (compulsory, capacity) misses from the stack-distance profiler.
+
+    Uses the vectorized profiler when the resolved backend is ``numpy``;
+    both implementations return identical counts.
+    """
+    from repro.simulator import resolve_backend
+
+    if resolve_backend("auto") == "numpy":
+        from repro.simulator.vectorized import misses_for_capacity, trace_arrays
+
+        arrays = trace_arrays(scop, line_size=line_size, padded=True)
+        return misses_for_capacity(arrays.line_indices(), cache_lines)
     trace = list(TraceGenerator(scop, line_size=line_size).line_trace())
     return StackDistanceProfiler().misses_for_capacity(trace, cache_lines)
 

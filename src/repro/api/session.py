@@ -92,6 +92,7 @@ class Session:
         self._budget: Optional[int] = None
         self._workers: int = 1
         self._store_path: Optional[str] = None
+        self._backend: str = "auto"
         self._toggles = {
             "equalization": True,
             "rasterization": True,
@@ -124,6 +125,21 @@ class Session:
         if units is not None and units < 0:
             raise SessionConfigError(f"work budget must be >= 0 or None, got {units}")
         self._budget = units or None
+        return self
+
+    def backend(self, name: str) -> "Session":
+        """Concrete-pipeline backend for trace fallback, cross-check, and
+        simulator baselines: ``"numpy"`` (vectorized), ``"python"``
+        (reference loops), or ``"auto"`` (NumPy when installed).  Validated
+        eagerly; an explicit ``"numpy"`` without NumPy installed raises at
+        the call site."""
+        from ..simulator.vectorized import BackendUnavailableError, resolve_backend
+
+        try:
+            resolve_backend(name)
+        except (ValueError, BackendUnavailableError) as exc:
+            raise SessionConfigError(str(exc)) from None
+        self._backend = name
         return self
 
     def workers(self, count: Union[int, str]) -> "Session":
@@ -182,6 +198,7 @@ class Session:
         self._budget = options.symbolic_work_budget
         if options.store_path:
             self._store_path = options.store_path
+        self._backend = options.backend
         return self
 
     # ------------------------------------------------------------------
@@ -210,6 +227,7 @@ class Session:
             cross_check=self._toggles["cross_check"],
             symbolic_work_budget=self._budget,
             store_path=self._store_path,
+            backend=self._backend,
         )
 
     def cache_model(self, *, fallback: Optional[bool] = None) -> CacheModel:
@@ -250,6 +268,7 @@ class Session:
             partial_enumeration=self._toggles["partial_enumeration"],
             symbolic_work_budget=self._budget,
             cross_check=self._toggles["cross_check"],
+            backend=self._backend,
         )
 
     # ------------------------------------------------------------------
@@ -347,7 +366,7 @@ class Session:
         return (
             f"Session(machine={levels}@{self._machine.line_size}B, "
             f"budget={self._budget}, workers={self._workers}, "
-            f"store={self._store_path or 'off'})"
+            f"store={self._store_path or 'off'}, backend={self._backend})"
         )
 
 

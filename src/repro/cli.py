@@ -43,7 +43,7 @@ from .reporting.bench import (
     suite_names,
     write_report,
 )
-from .simulator import CacheLevelConfig, DineroSimulator
+from .simulator import BACKENDS, BackendUnavailableError, CacheLevelConfig, DineroSimulator
 
 __all__ = ["main"]
 
@@ -140,6 +140,8 @@ def _session_from_args(args, machine: MachineModel) -> Session:
     session = Session().machine(machine).budget(_budget_value(args))
     if getattr(args, "no_fallback", False):
         session.options(fallback=False)
+    if getattr(args, "backend", None):
+        session.backend(args.backend)
     path = _store_path(args)
     if path:
         session.store(path)
@@ -211,14 +213,15 @@ def _model_stats_line(result: ModelResult, cached: bool, store_enabled: bool) ->
     return ", ".join(parts)
 
 
-def _simulator(machine: MachineModel, associativity: Optional[int]) -> DineroSimulator:
+def _simulator(machine: MachineModel, associativity: Optional[int], backend: str = "auto") -> DineroSimulator:
     return DineroSimulator(
         [
             CacheLevelConfig(
                 cache_size=level.size, line_size=machine.line_size, associativity=associativity
             )
             for level in machine.levels
-        ]
+        ],
+        backend=backend,
     )
 
 
@@ -230,6 +233,17 @@ def _add_budget_argument(parser: argparse.ArgumentParser) -> None:
         metavar="UNITS",
         help="deterministic symbolic work budget; exceeding it falls back to the "
         f"exact trace computation (default {DEFAULT_WORK_BUDGET}, 0 = unlimited)",
+    )
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="auto",
+        help="concrete-pipeline implementation: 'numpy' (vectorized), 'python' "
+        "(reference), 'auto' = NumPy when installed (default; both backends "
+        "produce identical results)",
     )
 
 
@@ -288,10 +302,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     model_parser.add_argument("--no-fallback", action="store_true", help="fail instead of falling back to the trace")
     _add_budget_argument(model_parser)
     _add_store_arguments(model_parser)
+    _add_backend_argument(model_parser)
 
     sim_parser = subparsers.add_parser("simulate", help="run the trace-driven simulator")
     _add_cache_arguments(sim_parser)
     sim_parser.add_argument("--associativity", type=int, default=None, help="ways (default: fully associative)")
+    _add_backend_argument(sim_parser)
 
     cmp_parser = subparsers.add_parser("compare", help="run both and compare the miss counts")
     _add_cache_arguments(cmp_parser)
@@ -299,6 +315,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     cmp_parser.add_argument("--no-fallback", action="store_true", help="fail instead of falling back to the trace")
     _add_budget_argument(cmp_parser)
     _add_store_arguments(cmp_parser)
+    _add_backend_argument(cmp_parser)
 
     batch_parser = subparsers.add_parser(
         "batch", help="analyse a kernel x dataset matrix across a worker pool"
@@ -322,6 +339,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_budget_argument(batch_parser)
     _add_store_arguments(batch_parser)
+    _add_backend_argument(batch_parser)
 
     bench_parser = subparsers.add_parser(
         "bench", help="run a named benchmark suite and compare against a baseline"
@@ -365,6 +383,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     bench_parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N", help="worker processes")
     _add_store_arguments(bench_parser)
+    _add_backend_argument(bench_parser)
 
     args = parser.parse_args(argv)
 
@@ -402,7 +421,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     if args.command == "model":
-        session = _session_from_args(args, machine)
+        try:
+            session = _session_from_args(args, machine)
+        except SessionConfigError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
         result, cached, exit_code = _model_result_with_store(args, session, scop)
         if result is None:
             return exit_code
@@ -416,7 +439,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "simulate":
-        result = _simulator(machine, args.associativity).run(scop)
+        try:
+            result = _simulator(machine, args.associativity, args.backend).run(scop)
+        except (BackendUnavailableError, ValueError) as exc:
+            # ValueError covers a bad $REPRO_BACKEND leaking through "auto".
+            print(str(exc), file=sys.stderr)
+            return 2
         rows = [
             (f"L{i+1}", stats.accesses, stats.compulsory_misses, stats.capacity_misses + stats.conflict_misses, stats.misses, stats.hits)
             for i, stats in enumerate(result.levels)
@@ -427,11 +455,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "compare":
-        session = _session_from_args(args, machine)
+        try:
+            session = _session_from_args(args, machine)
+        except SessionConfigError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
         model_result, cached, exit_code = _model_result_with_store(args, session, scop)
         if model_result is None:
             return exit_code
-        sim_result = _simulator(machine, args.associativity).run(scop)
+        sim_result = _simulator(machine, args.associativity, args.backend).run(scop)
         rows = []
         disagreement = 0
         for index, level in enumerate(model_result.level_results):
@@ -529,7 +561,11 @@ def _run_batch(args) -> int:
     except (_ArgsError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    session = _session_from_args(args, machine).workers(args.jobs)
+    try:
+        session = _session_from_args(args, machine).workers(args.jobs)
+    except SessionConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     progress = None
     if args.progress:
         def progress(record, done, total):
@@ -567,7 +603,10 @@ def _run_bench(args) -> int:
         tmp_store = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
         store_path = tmp_store.name
     try:
-        report = run_suite(args.suite, jobs=args.jobs, store_path=store_path)
+        report = run_suite(args.suite, jobs=args.jobs, store_path=store_path, backend=args.backend)
+    except SessionConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     finally:
         if tmp_store is not None:
             tmp_store.cleanup()

@@ -70,6 +70,10 @@ class CapacityCounter:
     counted for L1 is served from the cache for L2 and L3.
     """
 
+    #: Partial-enumeration expansions above this many points are not memoized
+    #: across hierarchy levels (memory guard; they are recomputed instead).
+    MAX_CACHED_ENUMERATION = 100_000
+
     def __init__(
         self,
         loop_vars: Sequence[str],
@@ -84,6 +88,13 @@ class CapacityCounter:
         self.cardinality_cache = cardinality_cache
         #: Optional :class:`repro.core.budget.WorkBudget`, charged per piece.
         self.budget = budget
+        # The same distance pieces are counted once per hierarchy level, but
+        # the floor-elimination rewrites and the partial-enumeration point
+        # expansion do not depend on the capacity — memoize them per piece
+        # object so L2/L3 reuse the work done for L1.  Keyed by id() with the
+        # piece kept in the value so identity cannot be recycled.
+        self._rewrite_cache: Dict[int, tuple] = {}
+        self._enumeration_cache: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -112,20 +123,44 @@ class CapacityCounter:
             self.stats.affine_pieces += 1
             return self._count_affine(piece, capacity_lines)
 
-        # Non-affine piece: try the floor-elimination rewrites first.
-        if self.options.equalization:
-            rewritten = equalize(piece)
-            if rewritten is not None:
-                self.stats.equalized_pieces += 1
-                return sum(self._count_piece(sub, capacity_lines) for sub in rewritten)
-        if self.options.rasterization:
-            rewritten = rasterize(piece)
-            if rewritten is not None:
-                self.stats.rasterized_pieces += 1
-                return sum(self._count_piece(sub, capacity_lines) for sub in rewritten)
+        # Non-affine piece: try the floor-elimination rewrites first.  The
+        # rewrite result is capacity-independent and memoized, so only the
+        # first hierarchy level pays for it; the statistics still count one
+        # (cached) rewrite per level, exactly like the uncached code did.
+        kind, rewritten = self._nonaffine_rewrite(piece)
+        if kind == "equalized":
+            self.stats.equalized_pieces += 1
+            return sum(self._count_piece(sub, capacity_lines) for sub in rewritten)
+        if kind == "rasterized":
+            self.stats.rasterized_pieces += 1
+            return sum(self._count_piece(sub, capacity_lines) for sub in rewritten)
 
         self.stats.nonaffine_pieces += 1
         return self._count_partial_enumeration(piece, capacity_lines)
+
+    def _nonaffine_rewrite(self, piece: DistancePiece):
+        """Memoized equalization/rasterization of one non-affine piece.
+
+        Returns ``(kind, sub_pieces)`` with ``kind`` in ``"equalized"``,
+        ``"rasterized"`` or ``None`` (no rewrite applies).  Caching the sub
+        pieces also makes their *own* nested rewrites cache hits on later
+        levels, because the recursion sees the identical objects again.
+        """
+        cached = self._rewrite_cache.get(id(piece))
+        if cached is not None and cached[0] is piece:
+            return cached[1], cached[2]
+        kind = None
+        rewritten = None
+        if self.options.equalization:
+            rewritten = equalize(piece)
+            if rewritten is not None:
+                kind = "equalized"
+        if kind is None and self.options.rasterization:
+            rewritten = rasterize(piece)
+            if rewritten is not None:
+                kind = "rasterized"
+        self._rewrite_cache[id(piece)] = (piece, kind, rewritten)
+        return kind, rewritten
 
     def _count_affine(self, piece: DistancePiece, capacity_lines: int) -> int:
         miss_set = piece.domain.conjoin([ge(piece.polynomial - (capacity_lines + 1), 0)])
@@ -144,17 +179,15 @@ class CapacityCounter:
         if not enumeration_vars:
             raise ModelFallbackRequired("non-affine piece without enumerable dimensions")
         total = 0
-        for point in enumerate_points(piece.domain, enumeration_vars):
+        for bound_piece in self._bound_pieces(piece, enumeration_vars):
             self.stats.enumerated_points += 1
             if self.stats.enumerated_points > self.options.max_enumerated_points:
                 raise ModelFallbackRequired("partial enumeration exceeded the point budget")
-            bound_domain = piece.domain.substitute(point)
-            bound_poly = piece.polynomial.substitute(point)
-            bound_piece = DistancePiece(bound_domain, bound_poly)
+            bound_poly = bound_piece.polynomial
             if bound_poly.is_affine():
                 if bound_poly.is_constant():
                     if bound_poly.constant_value() > capacity_lines:
-                        total += self._cardinality(bound_domain)
+                        total += self._cardinality(bound_piece.domain)
                 else:
                     total += self._count_affine(bound_piece, capacity_lines)
             else:
@@ -162,6 +195,31 @@ class CapacityCounter:
                 # polynomial affine by construction; guard for safety.
                 raise ModelFallbackRequired("partial enumeration left a non-affine polynomial")
         return total
+
+    def _bound_pieces(self, piece: DistancePiece, enumeration_vars: List[str]):
+        """Capacity-independent point expansion of a non-affine piece.
+
+        Enumerating the selected dimensions and substituting each point into
+        domain and polynomial is the expensive half of partial enumeration
+        and does not depend on the cache size, so the expanded sub-pieces are
+        memoized per piece and replayed for the remaining hierarchy levels
+        (subject to a size guard — gigantic expansions are recomputed rather
+        than held in memory).
+        """
+        cached = self._enumeration_cache.get(id(piece))
+        if cached is not None and cached[0] is piece and cached[1] == enumeration_vars:
+            yield from cached[2]
+            return
+        collected: Optional[List[DistancePiece]] = []
+        for point in enumerate_points(piece.domain, enumeration_vars):
+            bound = DistancePiece(piece.domain.substitute(point), piece.polynomial.substitute(point))
+            if collected is not None:
+                collected.append(bound)
+                if len(collected) > self.MAX_CACHED_ENUMERATION:
+                    collected = None
+            yield bound
+        if collected is not None:
+            self._enumeration_cache[id(piece)] = (piece, list(enumeration_vars), collected)
 
     # ------------------------------------------------------------------
     # Helpers

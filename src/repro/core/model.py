@@ -65,6 +65,12 @@ class ModelOptions:
     #: cardinality cache purely in-memory.  A path (not a store object) so
     #: options stay picklable — every worker opens its own store handle.
     store_path: Optional[str] = None
+    #: Concrete-pipeline implementation for the trace fallback and the
+    #: cross-check reference: ``"numpy"`` (vectorized, see
+    #: :mod:`repro.simulator.vectorized`), ``"python"`` (reference), or
+    #: ``"auto"`` (NumPy when installed, honouring ``$REPRO_BACKEND``).
+    #: Both produce identical :class:`ModelResult` payloads.
+    backend: str = "auto"
 
     def counter_options(self) -> CounterOptions:
         return CounterOptions(
@@ -248,27 +254,39 @@ class CacheModel:
     # Trace-based fallback (exact, but cost proportional to the trace)
     # ------------------------------------------------------------------
     def _analyze_by_trace(self, scop: Scop, *, used_fallback: bool) -> ModelResult:
-        from ..simulator.lru import StackDistanceProfiler
-        from ..simulator.trace import TraceGenerator
+        from ..simulator.vectorized import resolve_backend
 
         start = time.perf_counter()
-        generator = TraceGenerator(scop, line_size=self.machine.line_size, padded=True)
-        trace = list(generator.line_trace())
-        distances = StackDistanceProfiler().profile(trace)
         labels = self.machine.level_labels()
         capacities = self.machine.capacities_in_lines()
+        if resolve_backend(self.options.backend) == "numpy":
+            from ..simulator.vectorized import trace_model_counts
+
+            accesses, compulsory_total, capacity_misses = trace_model_counts(
+                scop, line_size=self.machine.line_size, capacities=capacities
+            )
+        else:
+            from ..simulator.lru import StackDistanceProfiler
+            from ..simulator.trace import TraceGenerator
+
+            generator = TraceGenerator(scop, line_size=self.machine.line_size, padded=True)
+            trace = list(generator.line_trace())
+            distances = StackDistanceProfiler().profile(trace)
+            accesses = len(trace)
+            compulsory_total = sum(1 for d in distances if d is None)
+            capacity_misses = [
+                sum(1 for d in distances if d is not None and d > capacity) for capacity in capacities
+            ]
 
         level_results = []
-        compulsory_total = sum(1 for d in distances if d is None)
         for index, label in enumerate(labels):
-            capacity_misses = sum(1 for d in distances if d is not None and d > capacities[index])
             level_results.append(
                 LevelMissCounts(
                     name=label,
                     cache_size=self.machine.levels[index].size,
-                    accesses=len(trace),
+                    accesses=accesses,
                     compulsory=compulsory_total,
-                    capacity=capacity_misses,
+                    capacity=capacity_misses[index],
                 )
             )
         elapsed = time.perf_counter() - start

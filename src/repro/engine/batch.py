@@ -260,6 +260,7 @@ def _execute_job(payload: Tuple[int, JobSpec, Optional[str]]) -> JobRecord:
             symbolic_work_budget=spec.symbolic_work_budget,
             cross_check=spec.cross_check,
             store_path=store_path,
+            backend=spec.backend,
         )
         record.result = CacheModel(machine, options).analyze(scop)
     except Exception as exc:  # noqa: BLE001 - error isolation is the contract

@@ -44,6 +44,12 @@ class JobSpec:
     #: Validate the symbolic result against the trace-based reference
     #: (slow; test/benchmark use).
     cross_check: bool = False
+    #: Concrete-pipeline backend (``"auto"``/``"numpy"``/``"python"``).  A
+    #: run configuration like the store path, not part of the job identity:
+    #: both backends produce identical results, so store entries and memo
+    #: keys are shared across them (and the store never masks a backend
+    #: divergence because equivalence jobs run store-less).
+    backend: str = field(default="auto", compare=False)
 
     def key(self) -> Tuple:
         """Hashable identity used for result memoization.

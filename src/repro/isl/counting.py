@@ -18,6 +18,7 @@ explicit enumeration, mirroring the paper's own hybrid counting strategy
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from typing import List, Optional, Sequence, Tuple
 
@@ -97,13 +98,15 @@ class _CountState:
         outer = count_vars[:-1]
 
         # Residue-split if any div depends on the summation variable, either in
-        # the constraints or in the accumulated polynomial.
-        denominators = [d.denominator for d in system.divs_involving([inner])]
-        denominators += [d.denominator for d in poly.divs() if inner in d.argument().free_variables()]
+        # the constraints or in the accumulated polynomial.  Identical
+        # denominators are deduplicated before the LCM so repeated moduli do
+        # not cost extra gcd work (and the modulus stays deterministic).
+        denominators = {d.denominator for d in system.divs_involving([inner])}
+        denominators |= {d.denominator for d in poly.divs() if inner in d.argument().free_variables()}
         if denominators:
             modulus = 1
-            for d in denominators:
-                modulus = modulus * d // _gcd(modulus, d)
+            for d in sorted(denominators):
+                modulus = modulus * d // math.gcd(modulus, d)
             return self._residue_split(system, outer, inner, poly, modulus)
 
         try:
@@ -115,14 +118,19 @@ class _CountState:
         if not lowers or not uppers:
             raise UnboundedSetError(f"count variable {inner} is unbounded")
 
+        # Bound expressions are interned once up front: ``Bound.value`` builds
+        # a fresh quasi-polynomial (possibly a new div) on every call, and the
+        # chamber decomposition below would otherwise rebuild each one
+        # O(|lowers| x |uppers|) times.
+        lower_values = [b.value() for b in lowers]
+        upper_values = [b.value() for b in uppers]
+
         results: List[Piece] = []
-        for li, low in enumerate(lowers):
-            low_value = low.value()
-            for ui, up in enumerate(uppers):
-                up_value = up.value()
+        for li, low_value in enumerate(lower_values):
+            for ui, up_value in enumerate(upper_values):
                 case = ConstraintSystem(rest)
-                _add_extremal_constraints(case, low_value, li, [b.value() for b in lowers], is_lower=True)
-                _add_extremal_constraints(case, up_value, ui, [b.value() for b in uppers], is_lower=False)
+                _add_extremal_constraints(case, low_value, li, lower_values, is_lower=True)
+                _add_extremal_constraints(case, up_value, ui, upper_values, is_lower=False)
                 case.add(ge(up_value - low_value, 0))
                 if case.has_trivially_false():
                     continue
@@ -147,12 +155,6 @@ class _CountState:
             sub_poly = poly.substitute(sub)
             results.extend(self.count(sub_system, list(outer) + [fresh], sub_poly))
         return results
-
-
-def _gcd(a: int, b: int) -> int:
-    while b:
-        a, b = b, a % b
-    return a
 
 
 def _dedupe_bounds(bounds: List[Bound]) -> List[Bound]:

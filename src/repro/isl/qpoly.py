@@ -14,6 +14,7 @@ in :mod:`repro.isl.counting`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -461,10 +462,9 @@ def floor_div(argument: QPoly, denominator: int) -> QPoly:
     return pulled + QPoly.variable(div)
 
 
-def _gcd_int(a: int, b: int) -> int:
-    while b:
-        a, b = b, a % b
-    return a
+#: ``math.gcd`` is C-implemented; ``floor_div`` runs once per floor built by
+#: the stack-distance pipeline, which makes this a measurable hot path.
+_gcd_int = math.gcd
 
 
 # ----------------------------------------------------------------------

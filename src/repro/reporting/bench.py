@@ -37,24 +37,33 @@ __all__ = [
     "write_report",
 ]
 
-#: Schema version of the ``BENCH_*.json`` payload.
-BENCH_SCHEMA = 1
+#: Schema version of the ``BENCH_*.json`` payload (2 = added the ``trace``
+#: simulator workload; readers treat a missing ``trace`` section as absent).
+BENCH_SCHEMA = 2
 
 #: Named workload suites: kernels x datasets analysed under a deterministic
-#: work budget.  ``smoke`` finishes in seconds (CI gate); ``full`` covers
-#: the whole PolyBench registry for offline trend tracking.
+#: work budget, plus a ``trace`` simulator workload that times the concrete
+#: pipeline under both backends and records the numpy-vs-python speedup
+#: (the fig10 simulator-accuracy path).  ``smoke`` finishes in seconds (CI
+#: gate); ``full`` covers the whole PolyBench registry for offline trend
+#: tracking.
 SUITES: Dict[str, Dict] = {
     "smoke": {
         "kernels": ["gemm", "atax", "bicg", "mvt", "trisolv", "jacobi-1d"],
         "datasets": ["mini"],
         "levels": [(32 * 1024, 256 * 1024)],
         "budget": 2_000,
+        # ~11k-access gemm: large enough that the >=10x vectorization claim
+        # is far from the noise floor (measured ~40-60x), small enough that
+        # the reference pass stays under a second.
+        "trace": {"size": 14, "rounds": 3, "min_speedup": 10.0},
     },
     "full": {
         "kernels": "all",
         "datasets": ["mini"],
         "levels": [(32 * 1024, 256 * 1024)],
         "budget": 10_000,
+        "trace": {"size": 20, "rounds": 3, "min_speedup": 10.0},
     },
 }
 
@@ -99,11 +108,83 @@ def _calibrate() -> float:
     return time.perf_counter() - start
 
 
+def _trace_workload_scop(size: int):
+    """The fig10-style simulator workload: a gemm of ``size``^3 updates.
+
+    Element size equals the line size so every access is one line — the
+    trace length (and therefore the measured speedup) depends only on
+    ``size``, not on layout details.
+    """
+    from ..scop import ScopBuilder
+
+    builder = ScopBuilder("bench-trace-gemm", context={"N": size}, element_size=64)
+    C = builder.array("C", (size, size))
+    A = builder.array("A", (size, size))
+    B = builder.array("B", (size, size))
+    with builder.loop("i", 0, size):
+        with builder.loop("j", 0, size):
+            builder.stmt(reads=[C[builder.v("i"), builder.v("j")]], writes=[C[builder.v("i"), builder.v("j")]])
+        with builder.loop("k", 0, size):
+            with builder.loop("j2", 0, size):
+                builder.stmt(
+                    reads=[A[builder.v("i"), builder.v("k")], B[builder.v("k"), builder.v("j2")], C[builder.v("i"), builder.v("j2")]],
+                    writes=[C[builder.v("i"), builder.v("j2")]],
+                )
+    return builder.build()
+
+
+def _run_trace_workload(config: Dict) -> Dict:
+    """Time the concrete simulator pipeline under both backends.
+
+    Runs the fig10 simulator-accuracy path — one fully associative level and
+    one 4-way LRU level over the full trace — once with the pure-Python
+    reference and ``rounds`` times with the vectorized backend (best run
+    counts, the reference is the slow side and is measured once).  Records
+    the speedup ratio and whether the two backends produced identical miss
+    counts; :func:`compare_reports` gates on both.
+    """
+    from ..simulator import CacheLevelConfig, DineroSimulator, numpy_available
+
+    size = config.get("size", 14)
+    rounds = max(1, int(config.get("rounds", 3)))
+    scop = _trace_workload_scop(size)
+    levels = [
+        CacheLevelConfig(cache_size=16 * 64, line_size=64, associativity=None),
+        CacheLevelConfig(cache_size=128 * 64, line_size=64, associativity=4),
+    ]
+    python_result = DineroSimulator(levels, backend="python").run(scop)
+    entry: Dict = {
+        "kernel": scop.name,
+        "accesses": python_result.accesses,
+        "misses": [stats.misses for stats in python_result.levels],
+        "python_seconds": python_result.elapsed_seconds,
+        "numpy_available": numpy_available(),
+        "numpy_seconds": None,
+        "speedup": None,
+        "results_match": True,
+        "min_speedup": config.get("min_speedup", 10.0),
+    }
+    if not numpy_available():
+        return entry
+    simulator = DineroSimulator(levels, backend="numpy")
+    best = None
+    for _ in range(rounds):
+        numpy_result = simulator.run(scop)
+        best = numpy_result.elapsed_seconds if best is None else min(best, numpy_result.elapsed_seconds)
+        if [stats.misses for stats in numpy_result.levels] != entry["misses"]:
+            entry["results_match"] = False
+            entry["numpy_misses"] = [stats.misses for stats in numpy_result.levels]
+    entry["numpy_seconds"] = best
+    entry["speedup"] = python_result.elapsed_seconds / best if best else None
+    return entry
+
+
 def run_suite(
     suite: str,
     *,
     jobs: int = 1,
     store_path: Optional[str] = None,
+    backend: str = "auto",
 ) -> Dict:
     """Run one named suite and return the ``BENCH_*.json`` report payload."""
     try:
@@ -113,7 +194,7 @@ def run_suite(
     from ..api import Session, registry
 
     kernels = registry.kernel_names() if config["kernels"] == "all" else list(config["kernels"])
-    session = Session().budget(config["budget"]).workers(jobs)
+    session = Session().budget(config["budget"]).workers(jobs).backend(backend)
     if store_path:
         session.store(store_path)
     request = (
@@ -122,6 +203,7 @@ def run_suite(
         .levels(*[tuple(levels) for levels in config["levels"]])
     )
     calibration = _calibrate()
+    trace_entry = _run_trace_workload(config["trace"]) if config.get("trace") else None
     batch = request.run()
 
     job_entries = []
@@ -178,6 +260,7 @@ def run_suite(
             "store_misses": batch.cardinality_store_misses,
         },
         "store": dict(batch.store_stats) if batch.store_stats is not None else None,
+        "trace": trace_entry,
     }
     return report
 
@@ -222,7 +305,13 @@ def compare_reports(
       deterministic **performance** regression;
     * calibration-normalized wall time beyond the same factor is a wall-clock
       regression (skipped with ``check_wall=False`` or when either report
-      lacks a calibration measurement).
+      lacks a calibration measurement);
+    * the ``trace`` simulator workload regresses when the two backends
+      disagree on miss counts (accuracy), when its miss counts drift from the
+      baseline, or when the numpy-vs-python speedup drops below the suite
+      floor (``min_speedup``, the paper-claim gate) or collapses to under a
+      quarter of the baseline ratio.  The speedup gate is skipped when NumPy
+      is not installed (the backend is an optional extra).
     """
     regressions: List[str] = []
     if current.get("suite") != baseline.get("suite"):
@@ -267,6 +356,8 @@ def compare_reports(
             f"(> {tolerance:.0%} over baseline)"
         )
 
+    regressions.extend(_compare_trace_workload(current, baseline, tolerance=tolerance))
+
     if check_wall:
         baseline_norm = _normalized_wall(baseline)
         current_norm = _normalized_wall(current)
@@ -277,6 +368,46 @@ def compare_reports(
                 f"(> {tolerance:.0%} over baseline; raw {baseline.get('wall_seconds', 0):.2f}s -> "
                 f"{current.get('wall_seconds', 0):.2f}s)"
             )
+    return regressions
+
+
+def _compare_trace_workload(current: Dict, baseline: Dict, *, tolerance: float) -> List[str]:
+    """Trace-workload regressions (see :func:`compare_reports`)."""
+    regressions: List[str] = []
+    now = current.get("trace")
+    base = baseline.get("trace")
+    if now is None:
+        if base is not None:
+            regressions.append("accuracy: trace workload missing from current report")
+        return regressions
+    if now.get("results_match") is False:
+        regressions.append(
+            "accuracy: trace workload backends disagree "
+            f"(python {now.get('misses')}, numpy {now.get('numpy_misses')})"
+        )
+    if base and base.get("misses") is not None and now.get("misses") != base.get("misses"):
+        regressions.append(
+            f"accuracy: trace workload miss counts changed "
+            f"(baseline {base.get('misses')}, current {now.get('misses')})"
+        )
+    speedup = now.get("speedup")
+    if speedup is None:
+        # No NumPy in this environment: the vectorized backend is an optional
+        # extra, so the speedup gate cannot apply.
+        return regressions
+    floor = now.get("min_speedup") or (base or {}).get("min_speedup") or 0.0
+    if floor and speedup < floor:
+        regressions.append(
+            f"performance: trace simulator speedup {speedup:.1f}x is below the "
+            f"suite floor of {floor:.0f}x (python {now.get('python_seconds', 0):.3f}s, "
+            f"numpy {now.get('numpy_seconds', 0):.4f}s)"
+        )
+    baseline_speedup = (base or {}).get("speedup")
+    if baseline_speedup and speedup < baseline_speedup * 0.25:
+        regressions.append(
+            f"performance: trace simulator speedup collapsed "
+            f"{baseline_speedup:.1f}x -> {speedup:.1f}x (under a quarter of baseline)"
+        )
     return regressions
 
 
@@ -293,6 +424,20 @@ def format_bench_summary(report: Dict, regressions: Optional[Sequence[str]] = No
         f"cardinality cache {totals.get('cache_hits', 0)}/{totals.get('cache_hits', 0) + totals.get('cache_misses', 0)} hits, "
         f"store {totals.get('store_hits', 0)} hits / {totals.get('store_misses', 0)} misses",
     ]
+    trace = report.get("trace")
+    if trace:
+        if trace.get("speedup") is not None:
+            lines.append(
+                f"trace workload: {trace.get('accesses', 0)} accesses, "
+                f"python {trace.get('python_seconds', 0.0):.3f}s, "
+                f"numpy {trace.get('numpy_seconds', 0.0):.4f}s "
+                f"({trace['speedup']:.1f}x speedup, floor {trace.get('min_speedup', 0):.0f}x)"
+            )
+        else:
+            lines.append(
+                f"trace workload: {trace.get('accesses', 0)} accesses, "
+                f"python {trace.get('python_seconds', 0.0):.3f}s (NumPy not installed; no speedup measured)"
+            )
     if regressions is not None:
         if regressions:
             lines.append(f"{len(regressions)} regression(s) against baseline:")

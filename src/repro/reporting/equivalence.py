@@ -1,0 +1,107 @@
+"""Backend-equivalence comparison of analysis payloads.
+
+The ``numpy`` and ``python`` backends must produce byte-identical results:
+every deterministic field of a serialized :class:`~repro.core.results.ModelResult`
+or batch payload — miss counts, per-access breakdowns, piece statistics,
+work units, cache counters — has to match exactly.  The only fields allowed
+to differ are wall-clock measurements (``*_seconds``), which depend on the
+machine, not on the computation.
+
+:func:`normalize` strips exactly those volatile fields; :func:`diff_payloads`
+reports every remaining difference with its JSON path.  The module doubles
+as a command-line tool for the CI ``backend-equivalence`` job::
+
+    repro-haystack batch --kernels ... --backend python --no-store --output py.json
+    repro-haystack batch --kernels ... --backend numpy  --no-store --output np.json
+    python -m repro.reporting.equivalence py.json np.json
+
+which exits non-zero (and prints the differing paths) on any divergence.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["diff_payloads", "main", "normalize"]
+
+#: Keys whose values are wall-clock measurements and therefore differ run to
+#: run; everything else must be byte-identical across backends.
+_VOLATILE_SUFFIX = "_seconds"
+
+
+def normalize(value):
+    """Recursively drop wall-clock fields from a JSON payload.
+
+    Every dictionary key ending in ``_seconds`` (``elapsed_seconds``,
+    ``stack_distance_seconds``, ``wall_seconds``, ...) is removed; all other
+    structure and values are preserved untouched.
+    """
+    if isinstance(value, dict):
+        return {
+            key: normalize(entry)
+            for key, entry in value.items()
+            if not (isinstance(key, str) and key.endswith(_VOLATILE_SUFFIX))
+        }
+    if isinstance(value, list):
+        return [normalize(entry) for entry in value]
+    return value
+
+
+def diff_payloads(left, right, path: str = "$") -> List[str]:
+    """All differences between two normalized payloads, as JSON-path strings."""
+    if isinstance(left, dict) and isinstance(right, dict):
+        differences: List[str] = []
+        for key in sorted(set(left) | set(right)):
+            if key not in left:
+                differences.append(f"{path}.{key}: only in right")
+            elif key not in right:
+                differences.append(f"{path}.{key}: only in left")
+            else:
+                differences.extend(diff_payloads(left[key], right[key], f"{path}.{key}"))
+        return differences
+    if isinstance(left, list) and isinstance(right, list):
+        if len(left) != len(right):
+            return [f"{path}: list length {len(left)} != {len(right)}"]
+        differences = []
+        for index, (a, b) in enumerate(zip(left, right)):
+            differences.extend(diff_payloads(a, b, f"{path}[{index}]"))
+        return differences
+    if left != right:
+        return [f"{path}: {left!r} != {right!r}"]
+    return []
+
+
+def payloads_equal(left, right) -> bool:
+    """True when the payloads agree on every deterministic field."""
+    return not diff_payloads(normalize(left), normalize(right))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 2:
+        print("usage: python -m repro.reporting.equivalence LEFT.json RIGHT.json", file=sys.stderr)
+        return 2
+    payloads: List[Dict] = []
+    for path in argv:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payloads.append(json.load(handle))
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    differences = diff_payloads(normalize(payloads[0]), normalize(payloads[1]))
+    if differences:
+        print(f"{len(differences)} deterministic field(s) differ between {argv[0]} and {argv[1]}:")
+        for line in differences[:50]:
+            print(f"  {line}")
+        if len(differences) > 50:
+            print(f"  ... and {len(differences) - 50} more")
+        return 1
+    print(f"{argv[0]} and {argv[1]} are equivalent on all deterministic fields")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

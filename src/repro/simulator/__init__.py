@@ -1,13 +1,23 @@
-"""Trace-driven cache simulation substrate (Dinero IV surrogate)."""
+"""Trace-driven cache simulation substrate (Dinero IV surrogate).
+
+Two interchangeable implementations live here: the per-access reference
+(:mod:`.trace`, :mod:`.lru`, :mod:`.set_assoc`) and the NumPy-vectorized
+fast path (:mod:`.vectorized`), selected by the ``backend`` option
+(``"auto"``/``"numpy"``/``"python"``) and guaranteed to produce identical
+results.
+"""
 
 from .dinero import DineroResult, DineroSimulator, simulate_scop
 from .hierarchy import CacheHierarchySimulator, CacheLevelConfig
 from .lru import CacheStatistics, FullyAssociativeLRU, StackDistanceProfiler, simulate_fully_associative
 from .set_assoc import ReplacementPolicy, SetAssociativeCache
 from .trace import ArrayLayout, MemoryAccess, TraceGenerator
+from .vectorized import BACKENDS, BackendUnavailableError, numpy_available, resolve_backend
 
 __all__ = [
     "ArrayLayout",
+    "BACKENDS",
+    "BackendUnavailableError",
     "CacheHierarchySimulator",
     "CacheLevelConfig",
     "CacheStatistics",
@@ -19,6 +29,8 @@ __all__ = [
     "SetAssociativeCache",
     "StackDistanceProfiler",
     "TraceGenerator",
+    "numpy_available",
+    "resolve_backend",
     "simulate_fully_associative",
     "simulate_scop",
 ]

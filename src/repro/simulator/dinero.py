@@ -45,30 +45,62 @@ class DineroResult:
 
 
 class DineroSimulator:
-    """Trace-driven simulation of a SCoP through a cache hierarchy."""
+    """Trace-driven simulation of a SCoP through a cache hierarchy.
+
+    ``backend`` selects the concrete implementation (see
+    :func:`repro.simulator.vectorized.resolve_backend`): ``"numpy"`` runs
+    the whole pipeline as array operations, ``"python"`` keeps the
+    per-access reference loop, ``"auto"`` (default) prefers NumPy when it is
+    installed.  Replacement policies without a stack formulation (tree-PLRU,
+    FIFO) always run on the reference simulator.
+    """
 
     def __init__(
         self,
         levels: Sequence[CacheLevelConfig],
         *,
         padded_layout: bool = True,
+        backend: str = "auto",
     ) -> None:
         self.levels = list(levels)
         self.padded_layout = padded_layout
+        self.backend = backend
+
+    def _vectorizable(self) -> bool:
+        """True when every level has a stack-formulated replacement policy
+        (so the vectorized pass will not fall back after generating the
+        trace — the expensive half of a run)."""
+        from .set_assoc import ReplacementPolicy
+
+        return all(
+            config.associativity is None or config.policy == ReplacementPolicy.LRU
+            for config in self.levels
+        )
 
     def run(self, scop: Scop) -> DineroResult:
+        from .vectorized import resolve_backend
+
         start = time.perf_counter()
         line_size = self.levels[0].line_size
-        generator = TraceGenerator(scop, line_size=line_size, padded=self.padded_layout)
-        hierarchy = CacheHierarchySimulator(self.levels)
-        accesses = 0
-        for access in generator.accesses():
-            accesses += 1
-            hierarchy.access(access.address, is_write=access.is_write)
+        stats = None
+        if resolve_backend(self.backend) == "numpy" and self._vectorizable():
+            from .vectorized import simulate_hierarchy_arrays, trace_arrays
+
+            trace = trace_arrays(scop, line_size=line_size, padded=self.padded_layout)
+            stats = simulate_hierarchy_arrays(trace, self.levels)
+            accesses = len(trace)
+        if stats is None:
+            generator = TraceGenerator(scop, line_size=line_size, padded=self.padded_layout)
+            hierarchy = CacheHierarchySimulator(self.levels)
+            accesses = 0
+            for access in generator.accesses():
+                accesses += 1
+                hierarchy.access(access.address, is_write=access.is_write)
+            stats = hierarchy.statistics()
         elapsed = time.perf_counter() - start
         return DineroResult(
             kernel=scop.name,
-            levels=hierarchy.statistics(),
+            levels=stats,
             accesses=accesses,
             elapsed_seconds=elapsed,
         )

@@ -5,6 +5,12 @@ order and emits one :class:`MemoryAccess` per array reference, exactly like
 the QEMU + Dinero IV tool-chain the paper uses to obtain simulation results.
 Its cost is proportional to the number of memory accesses, which is the
 behaviour the analytical model is compared against in Figure 1.
+
+This is the pure-Python *reference*: one Python-level iteration per access.
+:func:`repro.simulator.vectorized.trace_arrays` is its batched twin — the
+iteration domains become index arrays and the affine address math becomes
+integer matrix operations — and is guaranteed to emit the same accesses in
+the same order; the ``backend`` option decides which one runs.
 """
 
 from __future__ import annotations

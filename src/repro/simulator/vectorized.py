@@ -1,0 +1,530 @@
+"""NumPy-vectorized fast path for the concrete (trace-based) pipeline.
+
+The reference implementations in :mod:`repro.simulator.trace`,
+:mod:`repro.simulator.lru` and :mod:`repro.simulator.set_assoc` run one
+Python-level iteration per memory access, which makes the trace fallback of
+the analytical model, ``cross_check`` validation and the simulator baselines
+the dominant wall-time cost of a run.  This module reimplements the same
+pipeline on NumPy arrays:
+
+* **trace generation** — iteration domains are enumerated as index arrays
+  (bounding box from the rational bounds, then vectorized constraint
+  filtering), schedule values become integer key matrices sorted with a
+  stable lexsort, and the affine address math is evaluated as exact integer
+  matrix operations;
+* **stack-distance profiling** — the per-access binary-indexed-tree loop of
+  the Bennett-Kruskal algorithm is replaced by an offline merge-counting
+  pass (``O(n log^2 n)`` NumPy work, no Python-level per-access iteration):
+  the stack distance of access ``t`` with previous occurrence ``p`` is
+  ``(t - p) - #{s < t : prev[s] > p}``, a dominance count evaluated with a
+  bottom-up merge and batched ``searchsorted``;
+* **hit/miss evaluation** — fully associative LRU statistics fall out of the
+  distance array directly; set-associative LRU statistics reuse the same
+  profiler on the trace grouped (stably) by set index.
+
+Every function is bit-exact against its reference: the trace order matches
+:meth:`TraceGenerator.accesses`, the distances match
+:class:`StackDistanceProfiler`, and the statistics match
+:class:`FullyAssociativeLRU` / :class:`SetAssociativeCache` (LRU policy).
+Replacement policies that are not stack algorithms (tree-PLRU, FIFO) have no
+distance formulation and stay on the reference implementation.
+
+NumPy is an optional extra: :func:`resolve_backend` decides between the
+``"numpy"`` and ``"python"`` implementations, honouring the
+``REPRO_BACKEND`` environment variable and falling back automatically when
+NumPy is not installed.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isl.qpoly import Div, QPoly
+from ..scop.scop import Scop, Statement
+from .lru import CacheStatistics
+from .trace import ArrayLayout
+
+try:  # pragma: no cover - exercised through resolve_backend()
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less environments
+    _np = None
+
+__all__ = [
+    "BACKENDS",
+    "BackendUnavailableError",
+    "TraceArrays",
+    "default_backend",
+    "distance_histogram",
+    "fully_associative_stats",
+    "misses_for_capacity",
+    "numpy_available",
+    "resolve_backend",
+    "set_associative_stats",
+    "simulate_hierarchy_arrays",
+    "stack_distances",
+    "trace_arrays",
+]
+
+#: Accepted values of the ``backend`` option.
+BACKENDS = ("auto", "numpy", "python")
+
+#: Environment override consulted by ``backend="auto"``.
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+class BackendUnavailableError(RuntimeError):
+    """An explicitly requested backend cannot run in this environment."""
+
+
+def numpy_available() -> bool:
+    return _np is not None
+
+
+def default_backend() -> str:
+    """Backend implied by ``"auto"``: ``$REPRO_BACKEND`` or best available."""
+    env = os.environ.get(BACKEND_ENV, "").strip().lower()
+    if env and env != "auto":
+        return env
+    return "numpy" if numpy_available() else "python"
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Resolve a backend request to a concrete implementation name.
+
+    ``"auto"`` picks NumPy when it is importable (or whatever
+    ``$REPRO_BACKEND`` names) and silently falls back to the pure-Python
+    reference otherwise; an explicit ``"numpy"`` without NumPy installed is
+    an error so CI equivalence jobs cannot silently test python against
+    python.
+    """
+    name = (backend or "auto").strip().lower()
+    from_env = False
+    if name == "auto":
+        env = os.environ.get(BACKEND_ENV, "").strip().lower()
+        from_env = bool(env) and env != "auto"
+        name = default_backend()
+    if name not in ("numpy", "python"):
+        source = f"${BACKEND_ENV}={name!r}" if from_env else repr(backend)
+        raise ValueError(f"unknown backend {source}; choose from {', '.join(BACKENDS)}")
+    if name == "numpy" and not numpy_available():
+        raise BackendUnavailableError(
+            "backend 'numpy' requested but NumPy is not installed; "
+            "install the optional extra (pip install repro-haystack[numpy]) "
+            "or use backend='python'"
+        )
+    return name
+
+
+def _require_numpy():
+    if _np is None:
+        raise BackendUnavailableError("NumPy is required for the vectorized simulator backend")
+    return _np
+
+
+# ----------------------------------------------------------------------
+# Exact integer evaluation of quasi-polynomials on index arrays
+# ----------------------------------------------------------------------
+def _eval_qpoly(poly: QPoly, values: Dict[str, "object"], np=None):
+    """Evaluate ``poly`` elementwise on integer arrays, exactly.
+
+    Coefficients are Fractions; the whole polynomial is scaled by the LCM of
+    the coefficient denominators so all arithmetic happens in int64, then
+    divided back (the division must be exact — the pipeline only evaluates
+    integer-valued expressions).  Div symbols evaluate their argument the
+    same way and use ``floor(A / (L * d)) == floor((A / L) / d)``.
+    """
+    np = np or _require_numpy()
+    scale = 1
+    for coeff in poly.terms.values():
+        scale = scale * coeff.denominator // _gcd(scale, coeff.denominator)
+    total = None
+    for monomial, coeff in poly.terms.items():
+        term = _np_full_like_any(values, coeff.numerator * (scale // coeff.denominator), np)
+        for sym, exp in monomial:
+            base = _eval_symbol(sym, values, np)
+            for _ in range(exp):
+                term = term * base
+        total = term if total is None else total + term
+    if total is None:
+        return _np_full_like_any(values, 0, np)
+    if scale != 1:
+        quotient, remainder = np.divmod(total, scale)
+        if remainder.any():
+            raise ValueError(f"expected integral values evaluating {poly}")
+        return quotient
+    return total
+
+
+def _eval_symbol(sym, values: Dict[str, "object"], np):
+    if isinstance(sym, Div):
+        argument = sym.argument()
+        scale = 1
+        for coeff in argument.terms.values():
+            scale = scale * coeff.denominator // _gcd(scale, coeff.denominator)
+        scaled = _eval_qpoly(argument * scale, values, np)
+        return np.floor_divide(scaled, scale * sym.denominator)
+    try:
+        return values[sym]
+    except KeyError:
+        raise KeyError(f"no value for variable {sym!r}") from None
+
+
+def _np_full_like_any(values: Dict[str, "object"], fill: int, np):
+    for array in values.values():
+        return np.full_like(array, fill)
+    return np.asarray([fill], dtype=np.int64)
+
+
+_gcd = math.gcd
+
+
+# ----------------------------------------------------------------------
+# Vectorized domain enumeration and trace generation
+# ----------------------------------------------------------------------
+def _enumerate_statement(statement: Statement, np) -> Dict[str, "object"]:
+    """Integer points of the iteration domain as parallel index arrays.
+
+    The points come back in lexicographic order of ``statement.loop_vars``,
+    which is exactly the order :meth:`Statement.enumerate_instances`
+    produces, so downstream stable sorts preserve reference tie-breaking.
+    """
+    from ..isl.constraints import variable_range
+
+    names = list(statement.loop_vars)
+    domain = statement.domain
+    if not names:
+        if domain.has_trivially_false():
+            return {}
+        return {"__count": 1}
+    axes = []
+    for name in names:
+        low, high = variable_range(domain, name, [n for n in domain.variables() if n != name])
+        if high < low:
+            return {name: np.empty(0, dtype=np.int64) for name in names}
+        axes.append(np.arange(low, high + 1, dtype=np.int64))
+    grids = np.meshgrid(*axes, indexing="ij")
+    values = {name: grid.reshape(-1) for name, grid in zip(names, grids)}
+    keep = None
+    for constraint in domain.constraints:
+        evaluated = _eval_qpoly(constraint.expr, values, np)
+        ok = (evaluated == 0) if constraint.kind == "eq" else (evaluated >= 0)
+        keep = ok if keep is None else (keep & ok)
+    if keep is not None and not keep.all():
+        values = {name: array[keep] for name, array in values.items()}
+    return values
+
+
+@dataclass
+class TraceArrays:
+    """The full memory trace of a SCoP as parallel NumPy arrays."""
+
+    #: Byte addresses, one entry per dynamic access, in execution order.
+    addresses: "object"
+    #: Element sizes in bytes (parallel to ``addresses``).
+    sizes: "object"
+    #: Write flags (parallel to ``addresses``).
+    is_write: "object"
+    #: The array layout used to place the arrays (same as the reference).
+    layout: ArrayLayout
+    line_size: int
+
+    def __len__(self) -> int:
+        return int(self.addresses.shape[0])
+
+    def line_indices(self, line_size: Optional[int] = None) -> "object":
+        np = _require_numpy()
+        return np.floor_divide(self.addresses, line_size or self.line_size)
+
+
+def trace_arrays(scop: Scop, *, line_size: int = 64, padded: bool = True) -> TraceArrays:
+    """Vectorized equivalent of :meth:`TraceGenerator.accesses`.
+
+    Returns the trace in exactly the reference execution order: statement
+    instances sorted by their (zero-padded) schedule vectors with stable
+    tie-breaking on statement order and lexicographic instance order, and one
+    access per array reference in program order within each instance.
+    """
+    np = _require_numpy()
+    layout = ArrayLayout(scop, line_size=line_size, padded=padded)
+    schedule_length = scop.schedule_length()
+
+    per_statement: List[Tuple[Statement, Dict[str, "object"], int]] = []
+    counts: List[int] = []
+    for statement in scop.statements:
+        values = _enumerate_statement(statement, np)
+        if "__count" in values:
+            count = values["__count"]
+            values = {}
+        else:
+            count = int(next(iter(values.values())).shape[0]) if values else 0
+        per_statement.append((statement, values, count))
+        counts.append(count)
+
+    total_instances = sum(counts)
+    keys = np.zeros((total_instances, max(schedule_length, 1)), dtype=np.int64)
+    stmt_of = np.zeros(total_instances, dtype=np.int64)
+    row_of = np.zeros(total_instances, dtype=np.int64)
+    offset = 0
+    for stmt_index, (statement, values, count) in enumerate(per_statement):
+        if not count:
+            continue
+        block = slice(offset, offset + count)
+        stmt_of[block] = stmt_index
+        row_of[block] = np.arange(count, dtype=np.int64)
+        for position, expr in enumerate(statement.schedule_exprs(schedule_length)):
+            if expr.is_constant():
+                keys[block, position] = int(expr.constant_value())
+            else:
+                keys[block, position] = _eval_qpoly(expr, values, np)
+        offset += count
+
+    # Stable lexicographic sort on the schedule vectors: np.lexsort's last
+    # key is primary, so feed the columns reversed.  Ties keep concatenation
+    # order (statement order, then instance order), like the reference sort.
+    order = np.lexsort(tuple(keys[:, position] for position in reversed(range(keys.shape[1]))))
+
+    access_counts_by_stmt = np.asarray([len(s.accesses) for s, _, _ in per_statement], dtype=np.int64)
+    per_instance_accesses = access_counts_by_stmt[stmt_of[order]]
+    starts = np.concatenate(([0], np.cumsum(per_instance_accesses)))
+    total_accesses = int(starts[-1])
+
+    addresses = np.zeros(total_accesses, dtype=np.int64)
+    sizes = np.zeros(total_accesses, dtype=np.int64)
+    writes = np.zeros(total_accesses, dtype=bool)
+
+    sorted_stmt = stmt_of[order]
+    sorted_row = row_of[order]
+    for stmt_index, (statement, values, count) in enumerate(per_statement):
+        refs = statement.accesses
+        if not count or not refs:
+            continue
+        positions = np.nonzero(sorted_stmt == stmt_index)[0]
+        rows = sorted_row[positions]
+        out_starts = starts[positions]
+        for ref_index, ref in enumerate(refs):
+            array = ref.array
+            strides = layout.strides[array.name]
+            offsets = None
+            for dim, expr in enumerate(ref.indices):
+                index = _eval_qpoly(expr, values, np) if values else _np_full_like_any(values, int(expr.constant_value()), np)
+                _check_bounds(index, array, dim, statement.name, np)
+                contribution = index * int(strides[dim])
+                offsets = contribution if offsets is None else offsets + contribution
+            if offsets is None:
+                offsets = np.zeros(count, dtype=np.int64)
+            element_addresses = layout.base[array.name] + offsets * array.element_size
+            slots = out_starts + ref_index
+            addresses[slots] = element_addresses[rows]
+            sizes[slots] = array.element_size
+            writes[slots] = ref.is_write
+    return TraceArrays(addresses=addresses, sizes=sizes, is_write=writes, layout=layout, line_size=line_size)
+
+
+def _check_bounds(index, array, dim: int, statement: str, np) -> None:
+    extent = array.shape[dim]
+    bad = (index < 0) | (index >= extent)
+    if bad.any():
+        offender = int(index[np.argmax(bad)])
+        raise IndexError(
+            f"statement {statement} accesses {array.name} at index {offender} in dimension "
+            f"{dim} outside its shape {list(array.shape)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Vectorized Bennett-Kruskal stack distances
+# ----------------------------------------------------------------------
+def _previous_occurrence(lines, np):
+    """``prev[t]`` = index of the previous access to ``lines[t]`` or ``-1``."""
+    n = lines.shape[0]
+    order = np.argsort(lines, kind="stable")
+    sorted_lines = lines[order]
+    prev = np.full(n, -1, dtype=np.int64)
+    if n > 1:
+        same = sorted_lines[1:] == sorted_lines[:-1]
+        prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def _count_greater_before(values, np):
+    """``out[t] = #{s < t : values[s] > values[t]}`` by bottom-up merging.
+
+    A classic inversion count, evaluated level by level: at block size ``b``
+    every (sorted) even block is merged against the queries of its odd
+    sibling with one batched ``searchsorted`` over offset-disambiguated
+    keys.  Each ordered pair (s, t) is counted exactly once — at the level
+    where s and t first fall into sibling blocks.
+    """
+    n = values.shape[0]
+    counts = np.zeros(n, dtype=np.int64)
+    if n < 2:
+        return counts
+    size = 1
+    while size < n:
+        size *= 2
+    low = int(values.min())
+    padded = np.full(size, low - 1, dtype=np.int64)
+    padded[:n] = values
+    span = int(values.max()) - (low - 1) + 2
+    block = 1
+    while block < size:
+        pair_count = size // (2 * block)
+        pairs = padded.reshape(pair_count, 2 * block)
+        left_sorted = np.sort(pairs[:, :block], axis=1)
+        queries = pairs[:, block:]
+        pair_ids = np.arange(pair_count, dtype=np.int64)[:, None]
+        base = low - 1
+        left_keys = ((left_sorted - base) + pair_ids * span).reshape(-1)
+        query_keys = ((queries - base) + pair_ids * span).reshape(-1)
+        positions = np.searchsorted(left_keys, query_keys, side="right")
+        leq = positions - np.repeat(pair_ids.reshape(-1) * block, block)
+        greater = block - leq
+        targets = (np.arange(size, dtype=np.int64).reshape(pair_count, 2 * block)[:, block:]).reshape(-1)
+        in_range = targets < n
+        # Each access appears in exactly one right block per level, so the
+        # target indices are unique and a fancy-indexed += is safe (and much
+        # faster than np.add.at).
+        counts[targets[in_range]] += greater[in_range]
+        block *= 2
+    return counts
+
+
+def stack_distances(lines) -> "object":
+    """Backward stack distance of every access; ``-1`` for first touches.
+
+    Matches :meth:`StackDistanceProfiler.profile` exactly (with ``-1``
+    standing in for ``None``): the distance of access ``t`` with previous
+    occurrence ``p`` is the number of distinct lines in ``(p, t)`` plus one,
+    i.e. ``(t - p)`` minus the number of reuse edges fully inside ``(p, t)``.
+    """
+    np = _require_numpy()
+    lines = np.asarray(lines, dtype=np.int64)
+    n = lines.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    prev = _previous_occurrence(lines, np)
+    inversions = _count_greater_before(prev, np)
+    t = np.arange(n, dtype=np.int64)
+    distances = (t - prev) - inversions
+    distances[prev < 0] = -1
+    return distances
+
+
+def distance_histogram(lines) -> Dict[Optional[int], int]:
+    """Stack-distance histogram with the reference ``None`` bucket."""
+    np = _require_numpy()
+    distances = stack_distances(lines)
+    result: Dict[Optional[int], int] = {}
+    values, counts = np.unique(distances, return_counts=True)
+    for value, count in zip(values.tolist(), counts.tolist()):
+        result[None if value < 0 else value] = count
+    return result
+
+
+def misses_for_capacity(lines, capacity_lines: int) -> Tuple[int, int]:
+    """Vectorized (compulsory, capacity) miss counts for one cache size."""
+    distances = stack_distances(lines)
+    return _misses_from_distances(distances, capacity_lines)
+
+
+def _misses_from_distances(distances, capacity_lines: int) -> Tuple[int, int]:
+    compulsory = int((distances < 0).sum())
+    capacity = int((distances > capacity_lines).sum())
+    return compulsory, capacity
+
+
+def fully_associative_stats(lines, cache_size: int, line_size: int = 64) -> CacheStatistics:
+    """Statistics identical to :func:`simulate_fully_associative`."""
+    if cache_size <= 0 or line_size <= 0:
+        raise ValueError("cache and line size must be positive")
+    if cache_size % line_size:
+        raise ValueError("cache size must be a multiple of the line size")
+    np = _require_numpy()
+    lines = np.asarray(lines, dtype=np.int64)
+    distances = stack_distances(lines)
+    return _stats_from_distances(distances, cache_size // line_size, conflict=False)
+
+
+def set_associative_stats(
+    lines,
+    cache_size: int,
+    line_size: int = 64,
+    associativity: int = 8,
+) -> CacheStatistics:
+    """Statistics identical to :class:`SetAssociativeCache` with LRU.
+
+    Each set observes the stable subsequence of lines mapping to it, so the
+    per-set LRU stack distance decides hits; grouping the trace stably by set
+    index lets one global profiling pass answer every set at once (lines of
+    different sets never alias, and each group is contiguous after the stable
+    sort, so no reuse window spans a foreign set).
+    """
+    np = _require_numpy()
+    if cache_size % (line_size * associativity):
+        raise ValueError("cache size must be a multiple of line size * associativity")
+    lines = np.asarray(lines, dtype=np.int64)
+    num_sets = cache_size // (line_size * associativity)
+    order = np.argsort(lines % num_sets, kind="stable")
+    grouped = lines[order]
+    distances = stack_distances(grouped)
+    return _stats_from_distances(distances, associativity, conflict=True)
+
+
+def _stats_from_distances(distances, capacity_lines: int, *, conflict: bool) -> CacheStatistics:
+    stats = CacheStatistics()
+    stats.accesses = int(distances.shape[0])
+    compulsory = int((distances < 0).sum())
+    over = int((distances > capacity_lines).sum())
+    stats.compulsory_misses = compulsory
+    if conflict:
+        stats.conflict_misses = over
+    else:
+        stats.capacity_misses = over
+    stats.hits = stats.accesses - compulsory - over
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Hierarchy evaluation
+# ----------------------------------------------------------------------
+def simulate_hierarchy_arrays(trace: TraceArrays, configs: Sequence) -> Optional[List[CacheStatistics]]:
+    """Per-level statistics for an inclusive hierarchy, from one trace pass.
+
+    Every level observes the full trace (the inclusive model), so levels are
+    independent.  Returns ``None`` when any level uses a replacement policy
+    the vectorized backend cannot express (tree-PLRU, FIFO); the caller then
+    falls back to the reference simulator.
+    """
+    from .set_assoc import ReplacementPolicy
+
+    results: List[CacheStatistics] = []
+    for config in configs:
+        lines = trace.line_indices(config.line_size)
+        if config.associativity is None:
+            results.append(fully_associative_stats(lines, config.cache_size, config.line_size))
+        elif config.policy == ReplacementPolicy.LRU:
+            results.append(
+                set_associative_stats(lines, config.cache_size, config.line_size, config.associativity)
+            )
+        else:
+            return None
+    return results
+
+
+def trace_model_counts(
+    scop: Scop, *, line_size: int, capacities: Sequence[int]
+) -> Tuple[int, int, List[int]]:
+    """(accesses, compulsory, per-capacity capacity misses) of the exact trace.
+
+    This is the vectorized body of the analytical model's trace fallback:
+    one trace generation, one profiling pass, then one threshold comparison
+    per hierarchy level.
+    """
+    trace = trace_arrays(scop, line_size=line_size, padded=True)
+    distances = stack_distances(trace.line_indices())
+    compulsory = int((distances < 0).sum())
+    capacity_misses = [int((distances > capacity).sum()) for capacity in capacities]
+    return len(trace), compulsory, capacity_misses

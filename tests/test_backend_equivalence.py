@@ -1,0 +1,126 @@
+"""`ModelResult` equivalence between the numpy and python backends.
+
+The acceptance bar of the vectorized backend: across the PolyBench smoke
+sweep, ``backend="numpy"`` must produce a ``to_dict`` payload byte-identical
+to ``backend="python"`` on every deterministic field (wall-clock
+``*_seconds`` entries are the only permitted difference, stripped by
+:func:`repro.reporting.equivalence.normalize`).
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.api.session import SessionConfigError
+from repro.reporting.equivalence import diff_payloads, normalize, payloads_equal
+from repro.simulator import numpy_available
+
+#: The bench smoke sweep: small enough for the test suite, wide enough to
+#: cover init statements, triangular domains, and multi-statement kernels.
+SMOKE_KERNELS = ("gemm", "atax", "bicg", "mvt", "trisolv", "jacobi-1d")
+
+needs_numpy = pytest.mark.skipif(not numpy_available(), reason="NumPy not installed")
+
+
+def _analyze(kernel: str, backend: str):
+    # A small budget trips the symbolic pipeline quickly; the result is the
+    # exact trace fallback, which is precisely the code path that differs
+    # between the two backends.
+    session = (
+        Session()
+        .machine((32 * 1024, 256 * 1024))
+        .budget(500)
+        .backend(backend)
+        .no_store()
+    )
+    return session.analyze(kernel, "mini")
+
+
+@needs_numpy
+@pytest.mark.parametrize("kernel", SMOKE_KERNELS)
+def test_smoke_sweep_backends_byte_identical(kernel):
+    python_payload = _analyze(kernel, "python").to_dict()
+    numpy_payload = _analyze(kernel, "numpy").to_dict()
+    differences = diff_payloads(normalize(python_payload), normalize(numpy_payload))
+    assert not differences, differences
+    # The budgeted smoke sweep actually exercises the trace fallback — the
+    # code path the backends implement differently.
+    assert python_payload["used_fallback"]
+
+
+def _transpose_scop(n=10, m=9):
+    from repro.scop import ScopBuilder
+
+    builder = ScopBuilder("transpose", context={"N": n, "M": m}, element_size=64)
+    A = builder.array("A", (n, m))
+    B = builder.array("B", (m, n))
+    with builder.loop("i", 0, n):
+        with builder.loop("j", 0, m):
+            builder.stmt(reads=[A[builder.v("i"), builder.v("j")]], writes=[B[builder.v("j"), builder.v("i")]])
+    return builder.build()
+
+
+@needs_numpy
+def test_cross_check_runs_on_the_vectorized_reference():
+    """cross_check compares the symbolic result against the backend's trace
+    reference; with the numpy backend it must still pass (same counts)."""
+    session = Session().machine((1024, 8192)).backend("numpy").options(cross_check=True).no_store()
+    result = session.analyze(_transpose_scop())
+    assert not result.used_fallback
+
+
+def test_session_rejects_unknown_backend():
+    with pytest.raises(SessionConfigError):
+        Session().backend("fortran")
+
+
+def test_session_backend_threads_into_options_and_specs():
+    session = Session().backend("python")
+    assert session.model_options().backend == "python"
+    assert session.job_spec("gemm", "mini").backend == "python"
+    assert "backend=python" in repr(session)
+
+
+def test_backend_not_part_of_job_identity():
+    """Both backends produce identical results, so they share memo keys and
+    store digests; the backend is run configuration, not job identity."""
+    from repro.engine.store import job_digest
+
+    python_spec = Session().backend("python").job_spec("gemm", "mini")
+    numpy_spec = Session().job_spec("gemm", "mini")
+    assert python_spec.key() == numpy_spec.key()
+    assert job_digest(python_spec) == job_digest(numpy_spec)
+
+
+def test_normalize_strips_only_wall_clock_fields():
+    payload = {
+        "wall_seconds": 1.5,
+        "timing": {"stack_distance_seconds": 0.2, "work_units_charged": 7},
+        "jobs": [{"elapsed_seconds": 0.1, "misses": [3, 4]}],
+    }
+    assert normalize(payload) == {
+        "timing": {"work_units_charged": 7},
+        "jobs": [{"misses": [3, 4]}],
+    }
+    assert payloads_equal(payload, {**payload, "wall_seconds": 99.0})
+    assert not payloads_equal(payload, {**payload, "jobs": [{"misses": [3, 5]}]})
+
+
+def test_diff_payloads_reports_paths():
+    differences = diff_payloads({"a": [1, 2]}, {"a": [1, 3], "b": 0})
+    assert "$.a[1]: 2 != 3" in differences
+    assert "$.b: only in right" in differences
+
+
+def test_equivalence_cli_tool(tmp_path, capsys):
+    from repro.reporting.equivalence import main
+
+    left = tmp_path / "left.json"
+    right = tmp_path / "right.json"
+    left.write_text('{"misses": 3, "elapsed_seconds": 0.5}')
+    right.write_text('{"misses": 3, "elapsed_seconds": 0.9}')
+    assert main([str(left), str(right)]) == 0
+    right.write_text('{"misses": 4, "elapsed_seconds": 0.9}')
+    assert main([str(left), str(right)]) == 1
+    assert "$.misses" in capsys.readouterr().out
+    assert main([str(left)]) == 2
+    assert main([str(left), str(tmp_path / "missing.json")]) == 2

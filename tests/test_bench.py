@@ -138,6 +138,97 @@ class TestCompareReports:
         assert compare_reports(current, self._report()) == []
 
 
+class TestTraceWorkload:
+    def _trace_entry(self, **overrides):
+        entry = {
+            "kernel": "bench-trace-gemm",
+            "accesses": 11368,
+            "misses": [100, 50],
+            "python_seconds": 0.5,
+            "numpy_available": True,
+            "numpy_seconds": 0.01,
+            "speedup": 50.0,
+            "results_match": True,
+            "min_speedup": 10.0,
+        }
+        entry.update(overrides)
+        return entry
+
+    def _report(self, trace):
+        return {
+            "suite": "tiny",
+            "wall_seconds": 1.0,
+            "calibration_seconds": 0.1,
+            "jobs": [],
+            "totals": {"work_units": 0},
+            "trace": trace,
+        }
+
+    def test_run_suite_records_trace_workload(self, monkeypatch):
+        monkeypatch.setitem(
+            bench.SUITES,
+            "tiny",
+            dict(TINY_SUITE, trace={"size": 4, "rounds": 1, "min_speedup": 10.0}),
+        )
+        report = run_suite("tiny", store_path=None)
+        trace = report["trace"]
+        assert trace["kernel"] == "bench-trace-gemm"
+        assert trace["accesses"] > 0 and len(trace["misses"]) == 2
+        assert trace["python_seconds"] > 0
+        assert trace["results_match"] is True
+        if trace["numpy_available"]:
+            assert trace["numpy_seconds"] > 0 and trace["speedup"] > 0
+        else:
+            assert trace["speedup"] is None
+
+    def test_clean_trace_workload_passes(self):
+        report = self._report(self._trace_entry())
+        assert compare_reports(report, self._report(self._trace_entry()), check_wall=False) == []
+
+    def test_backend_disagreement_is_accuracy_regression(self):
+        current = self._report(self._trace_entry(results_match=False, numpy_misses=[101, 50]))
+        regressions = compare_reports(current, self._report(self._trace_entry()), check_wall=False)
+        assert any("backends disagree" in r for r in regressions)
+
+    def test_trace_miss_drift_is_accuracy_regression(self):
+        current = self._report(self._trace_entry(misses=[101, 50]))
+        regressions = compare_reports(current, self._report(self._trace_entry()), check_wall=False)
+        assert any("miss counts changed" in r for r in regressions)
+
+    def test_speedup_below_floor_is_performance_regression(self):
+        current = self._report(self._trace_entry(speedup=8.0))
+        regressions = compare_reports(current, self._report(self._trace_entry()), check_wall=False)
+        assert any("below the suite floor" in r for r in regressions)
+
+    def test_speedup_collapse_against_baseline_is_regression(self):
+        current = self._report(self._trace_entry(speedup=11.0))
+        baseline = self._report(self._trace_entry(speedup=60.0))
+        regressions = compare_reports(current, baseline, check_wall=False)
+        assert any("collapsed" in r for r in regressions)
+
+    def test_no_numpy_skips_the_speedup_gate(self):
+        current = self._report(
+            self._trace_entry(numpy_available=False, numpy_seconds=None, speedup=None)
+        )
+        assert compare_reports(current, self._report(self._trace_entry()), check_wall=False) == []
+
+    def test_missing_trace_workload_is_flagged(self):
+        current = self._report(None)
+        current.pop("trace")
+        regressions = compare_reports(current, self._report(self._trace_entry()), check_wall=False)
+        assert any("trace workload missing" in r for r in regressions)
+
+    def test_committed_smoke_baseline_records_the_speedup_claim(self):
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        report = load_report(repo_root / "benchmarks" / "baselines" / "BENCH_smoke.json")
+        trace = report["trace"]
+        assert trace["results_match"] is True
+        assert trace["min_speedup"] >= 10.0
+        assert trace["speedup"] >= 10.0
+
+
 class TestBenchCli:
     def test_bench_writes_report(self, tmp_path, capsys):
         output = tmp_path / "BENCH_tiny.json"

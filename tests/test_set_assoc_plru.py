@@ -1,0 +1,152 @@
+"""Tree-PLRU victim selection and stack-distance profiler edge cases.
+
+These tests pin down the reference implementations the vectorized backend is
+validated against: the pseudo-LRU decision tree of
+:class:`repro.simulator.set_assoc._TreePLRUSet` and the boundary behaviour of
+:class:`repro.simulator.lru.StackDistanceProfiler` (empty trace, single line,
+capacity zero).
+"""
+
+import pytest
+
+from repro.simulator.lru import FullyAssociativeLRU, StackDistanceProfiler
+from repro.simulator.set_assoc import ReplacementPolicy, SetAssociativeCache, _TreePLRUSet
+
+
+# ----------------------------------------------------------------------
+# Tree-PLRU victim selection
+# ----------------------------------------------------------------------
+def test_plru_fills_empty_ways_first():
+    cache_set = _TreePLRUSet(4)
+    victims = []
+    for tag in range(4):
+        victims.append(cache_set.victim())
+        cache_set.insert(tag)
+    # Empty ways are always preferred, in way order, regardless of tree bits.
+    assert victims == [0, 1, 2, 3]
+    assert cache_set.slots == [0, 1, 2, 3]
+
+
+def test_plru_victim_points_away_from_recent_touches():
+    cache_set = _TreePLRUSet(2)
+    cache_set.insert(10)  # way 0, bits now point right
+    cache_set.insert(11)  # way 1, bits now point left
+    assert cache_set.victim() == 0
+    cache_set.touch(0)  # way 0 is hot again -> victim flips to way 1
+    assert cache_set.victim() == 1
+    cache_set.touch(1)
+    assert cache_set.victim() == 0
+
+
+def test_plru_4way_victim_walks_the_decision_tree():
+    cache_set = _TreePLRUSet(4)
+    for tag in range(4):
+        cache_set.insert(tag)
+    # insert() touches the inserted way, so after filling 0..3 the root
+    # points at the left half and the left leaf at way 0.
+    assert cache_set.victim() == 0
+    cache_set.touch(0)
+    assert cache_set.victim() == 2
+    cache_set.touch(2)
+    assert cache_set.victim() == 1
+    # Touching way 1 flips the root towards the right subtree, whose leaf
+    # bit still points at way 3 (hot from the fill less recently than 2).
+    cache_set.touch(1)
+    assert cache_set.victim() == 3
+
+
+def test_plru_non_power_of_two_ways_never_picks_missing_way():
+    cache_set = _TreePLRUSet(3)
+    for tag in range(3):
+        cache_set.insert(tag)
+    for step in range(16):
+        victim = cache_set.victim()
+        assert 0 <= victim < 3
+        cache_set.insert(100 + step)
+
+
+def test_plru_lookup_and_eviction_through_the_cache():
+    cache = SetAssociativeCache(2 * 64, 64, 2, policy=ReplacementPolicy.TREE_PLRU)
+    assert not cache.access_line(0)
+    assert not cache.access_line(1)
+    assert cache.access_line(0)  # hit touches way 0
+    assert not cache.access_line(2)  # evicts the PLRU victim (way 1 / line 1)
+    assert cache.access_line(0)
+    assert not cache.access_line(1)  # line 1 was evicted -> conflict miss
+    assert cache.stats.compulsory_misses == 3
+    assert cache.stats.conflict_misses == 1
+    assert cache.stats.hits == 2
+
+
+def test_plru_reset_clears_sets_and_stats():
+    cache = SetAssociativeCache(2 * 64, 64, 2, policy=ReplacementPolicy.TREE_PLRU)
+    cache.access_line(0)
+    cache.access_line(0)
+    cache.reset()
+    assert cache.stats.accesses == 0
+    assert not cache.access_line(0)  # compulsory again after reset
+    assert cache.stats.compulsory_misses == 1
+
+
+def test_plru_matches_lru_for_two_ways_on_alternating_trace():
+    """With 2 ways one tree bit IS the LRU bit: both policies must agree."""
+    trace = [0, 1, 0, 2, 0, 1, 2, 0, 1, 0, 2, 1]
+    lru = SetAssociativeCache(2 * 64, 64, 2, policy=ReplacementPolicy.LRU)
+    plru = SetAssociativeCache(2 * 64, 64, 2, policy=ReplacementPolicy.TREE_PLRU)
+    for line in trace:
+        assert lru.access_line(line) == plru.access_line(line)
+    assert lru.stats.as_dict() == plru.stats.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Stack-distance profiler edge cases
+# ----------------------------------------------------------------------
+def test_profiler_empty_trace():
+    profiler = StackDistanceProfiler()
+    assert profiler.profile([]) == []
+    assert profiler.histogram([]) == {}
+    assert profiler.misses_for_capacity([], 4) == (0, 0)
+
+
+def test_profiler_single_access():
+    profiler = StackDistanceProfiler()
+    assert profiler.profile([7]) == [None]
+    assert profiler.histogram([7]) == {None: 1}
+    assert profiler.misses_for_capacity([7], 1) == (1, 0)
+
+
+def test_profiler_single_line_repeated():
+    trace = [3, 3, 3, 3]
+    profiler = StackDistanceProfiler()
+    assert profiler.profile(trace) == [None, 1, 1, 1]
+    assert profiler.histogram(trace) == {None: 1, 1: 3}
+    # Even a one-line cache holds a single line: only the first touch misses.
+    assert profiler.misses_for_capacity(trace, 1) == (1, 0)
+
+
+def test_profiler_capacity_zero_misses_everything():
+    trace = [0, 1, 0, 1, 0]
+    compulsory, capacity = StackDistanceProfiler().misses_for_capacity(trace, 0)
+    assert compulsory == 2
+    assert capacity == 3  # every reuse has distance >= 1 > 0
+
+
+def test_profiler_distances_count_distinct_lines():
+    trace = [0, 1, 2, 0, 1, 1]
+    assert StackDistanceProfiler().profile(trace) == [None, None, None, 3, 3, 1]
+
+
+def test_profiler_agrees_with_lru_on_capacity_boundary():
+    trace = [0, 1, 2, 0, 3, 1, 0]
+    for capacity in (1, 2, 3, 4):
+        cache = FullyAssociativeLRU(capacity * 64, 64)
+        for line in trace:
+            cache.access_line(line)
+        compulsory, over = StackDistanceProfiler().misses_for_capacity(trace, capacity)
+        assert compulsory == cache.stats.compulsory_misses
+        assert over == cache.stats.capacity_misses
+
+
+def test_fully_associative_rejects_capacity_zero():
+    with pytest.raises(ValueError):
+        FullyAssociativeLRU(0, 64)
