@@ -27,6 +27,7 @@ site instead of deep inside a worker process.
 
 from __future__ import annotations
 
+import operator
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core import CacheLevelSpec, CacheModel, MachineModel, ModelOptions
@@ -84,7 +85,15 @@ class Session:
 
     def __init__(self, machine: Union[str, MachineModel, None] = None) -> None:
         from . import registry
+        from ..simulator.vectorized import validate_backend_env
 
+        # A bad $REPRO_BACKEND would otherwise leak through backend="auto"
+        # into a deep ValueError at trace-fallback time; fail at session
+        # construction instead, with the offending value named.
+        try:
+            validate_backend_env()
+        except ValueError as exc:
+            raise SessionConfigError(str(exc)) from None
         self._registry = registry
         self._machine: MachineModel = (
             MachineModel() if machine is None else self._resolve_machine(machine)
@@ -93,6 +102,7 @@ class Session:
         self._workers: int = 1
         self._store_path: Optional[str] = None
         self._backend: str = "auto"
+        self._capacities: Tuple[int, ...] = ()
         self._toggles = {
             "equalization": True,
             "rasterization": True,
@@ -140,6 +150,36 @@ class Session:
         except (ValueError, BackendUnavailableError) as exc:
             raise SessionConfigError(str(exc)) from None
         self._backend = name
+        return self
+
+    def capacities(self, *sizes: int) -> "Session":
+        """Extra cache sizes in bytes to resolve on the result's miss curve.
+
+        The sizes become breakpoints of every analysis result's
+        :class:`~repro.core.MissCurve` alongside the machine's hierarchy
+        levels — all served by the same single counting pass, so a wide
+        sweep costs barely more than a fixed-capacity run.  Calling with no
+        arguments clears a previously configured sweep.
+        """
+        flat: List[int] = []
+        for size in sizes:
+            if isinstance(size, (tuple, list, range)):
+                flat.extend(size)
+            else:
+                flat.append(size)
+        if any(isinstance(size, bool) for size in flat):
+            raise SessionConfigError(f"capacities must be cache sizes in bytes, got {sizes!r}")
+        try:
+            # operator.index rejects floats (no silent truncation of e.g.
+            # 1.5 * KIB-style computed sizes) while accepting int-likes.
+            cleaned = sorted({operator.index(size) for size in flat})
+        except TypeError:
+            raise SessionConfigError(
+                f"capacities must be cache sizes in bytes, got {sizes!r}"
+            ) from None
+        if cleaned and cleaned[0] <= 0:
+            raise SessionConfigError(f"capacities must be positive byte sizes, got {cleaned}")
+        self._capacities = tuple(cleaned)
         return self
 
     def workers(self, count: Union[int, str]) -> "Session":
@@ -199,6 +239,7 @@ class Session:
         if options.store_path:
             self._store_path = options.store_path
         self._backend = options.backend
+        self._capacities = tuple(options.curve_capacities or ())
         return self
 
     # ------------------------------------------------------------------
@@ -228,6 +269,7 @@ class Session:
             symbolic_work_budget=self._budget,
             store_path=self._store_path,
             backend=self._backend,
+            curve_capacities=self._capacities or None,
         )
 
     def cache_model(self, *, fallback: Optional[bool] = None) -> CacheModel:
@@ -269,6 +311,7 @@ class Session:
             symbolic_work_budget=self._budget,
             cross_check=self._toggles["cross_check"],
             backend=self._backend,
+            curve_capacities=self._capacities,
         )
 
     # ------------------------------------------------------------------
@@ -354,6 +397,33 @@ class Session:
         if store is not None:
             store.put_result(digest, result.to_dict())
         return result
+
+    def miss_curve(
+        self,
+        target: Union[str, Scop],
+        dataset: Optional[str] = None,
+        *,
+        capacities: Optional[Sequence[int]] = None,
+        overrides=None,
+    ):
+        """Miss curve of one kernel or :class:`Scop`: every cache size from
+        one analysis.
+
+        ``capacities`` (bytes) adds sweep breakpoints for this and later
+        runs, like :meth:`capacities`.  The analysis flows through
+        :meth:`analyze`, so the store caches the curve together with the
+        per-level counts, and trace-fallback results return a curve that is
+        exact at *every* capacity.
+        """
+        if capacities is not None:
+            self.capacities(*capacities)
+        result = self.analyze(target, dataset, overrides=overrides)
+        if result.miss_curve is None:
+            raise SessionConfigError(
+                "analysis result carries no miss curve (stale payload from an "
+                "older schema?); re-run without the store or wipe it"
+            )
+        return result.miss_curve
 
     def build_scop(
         self, kernel: str, dataset: str = "mini", *, overrides=None

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 import tempfile
 from typing import List, Optional, Tuple
@@ -33,7 +34,7 @@ from .core.budget import BudgetExhausted
 from .core.prevmap import ModelFallbackRequired
 from .core.results import ModelResult
 from .engine.store import default_store_path, job_digest
-from .reporting import format_batch_summary, format_table
+from .reporting import format_batch_summary, format_miss_curve, format_table
 from .reporting.bench import (
     compare_reports,
     default_baseline_path,
@@ -43,7 +44,13 @@ from .reporting.bench import (
     suite_names,
     write_report,
 )
-from .simulator import BACKENDS, BackendUnavailableError, CacheLevelConfig, DineroSimulator
+from .simulator import (
+    BACKENDS,
+    BackendUnavailableError,
+    CacheLevelConfig,
+    DineroSimulator,
+    validate_backend_env,
+)
 
 __all__ = ["main"]
 
@@ -79,6 +86,69 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+#: Byte sizes accept power-of-two suffixes: ``4096``, ``32K``, ``1MiB``, ...
+_SIZE_PATTERN = re.compile(r"^(\d+)\s*(K|M|G)?(I?B)?$")
+_SIZE_SCALES = {"": 1, "K": 1024, "M": 1024**2, "G": 1024**3}
+
+
+def _parse_size(text: str) -> int:
+    """Parse a byte size like ``4096``, ``32K``, or ``1MiB``."""
+    match = _SIZE_PATTERN.match(text.strip().upper())
+    if not match:
+        raise _ArgsError(f"cannot parse size {text!r} (use bytes or K/M/G suffixes)")
+    value = int(match.group(1))
+    if value <= 0:
+        raise _ArgsError(f"sizes must be positive, got {text!r}")
+    return value * _SIZE_SCALES[match.group(2) or ""]
+
+
+#: Default number of sweep points when ``--sweep MIN:MAX`` omits the count.
+DEFAULT_SWEEP_POINTS = 16
+
+
+def _sweep_sizes(spec: str) -> List[int]:
+    """Expand ``MIN:MAX[:POINTS]`` into a log-spaced list of byte sizes."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise _ArgsError(f"--sweep takes MIN:MAX[:POINTS], got {spec!r}")
+    low = _parse_size(parts[0])
+    high = _parse_size(parts[1])
+    points = DEFAULT_SWEEP_POINTS
+    if len(parts) == 3:
+        try:
+            points = int(parts[2])
+        except ValueError:
+            raise _ArgsError(f"--sweep point count must be an integer, got {parts[2]!r}") from None
+    if points < 2:
+        raise _ArgsError(f"--sweep needs at least 2 points, got {points}")
+    if high <= low:
+        raise _ArgsError(f"--sweep MAX must exceed MIN, got {spec!r}")
+    ratio = high / low
+    sizes = {round(low * ratio ** (index / (points - 1))) for index in range(points)}
+    return sorted(sizes)
+
+
+def _curve_capacities(args, machine: MachineModel) -> List[int]:
+    """Capacity sweep of the ``curve`` command, in bytes.
+
+    Explicit ``--capacities`` entries and the ``--sweep`` range combine; with
+    neither given, the default sweep runs log-spaced from one cache line to
+    twice the largest hierarchy level.
+    """
+    sizes = set()
+    if args.capacities:
+        for item in args.capacities.split(","):
+            if item.strip():
+                sizes.add(_parse_size(item))
+    if args.sweep:
+        sizes.update(_sweep_sizes(args.sweep))
+    if not sizes:
+        largest = max(level.size for level in machine.levels)
+        sizes.update(_sweep_sizes(f"{machine.line_size}:{2 * largest}:{DEFAULT_SWEEP_POINTS}"))
+        sizes.update(level.size for level in machine.levels)
+    return sorted(sizes)
 
 
 def _warn_fallback(args, exc: Exception) -> None:
@@ -309,6 +379,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     sim_parser.add_argument("--associativity", type=int, default=None, help="ways (default: fully associative)")
     _add_backend_argument(sim_parser)
 
+    curve_parser = subparsers.add_parser(
+        "curve", help="miss curve: sweep many cache sizes from one analysis"
+    )
+    _add_cache_arguments(curve_parser)
+    curve_parser.add_argument(
+        "--sweep",
+        metavar="MIN:MAX[:POINTS]",
+        default=None,
+        help="log-spaced capacity sweep in bytes (sizes accept K/M/G suffixes; "
+        f"default {DEFAULT_SWEEP_POINTS} points); combines with --capacities",
+    )
+    curve_parser.add_argument(
+        "--capacities",
+        metavar="LIST",
+        default=None,
+        help="comma-separated explicit cache sizes in bytes (K/M/G suffixes ok)",
+    )
+    curve_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output instead of a table"
+    )
+    curve_parser.add_argument(
+        "--no-fallback", action="store_true", help="fail instead of falling back to the trace"
+    )
+    _add_budget_argument(curve_parser)
+    _add_store_arguments(curve_parser)
+    _add_backend_argument(curve_parser)
+
     cmp_parser = subparsers.add_parser("compare", help="run both and compare the miss counts")
     _add_cache_arguments(cmp_parser)
     cmp_parser.add_argument("--associativity", type=int, default=None)
@@ -387,6 +484,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
 
+    # A bad $REPRO_BACKEND would otherwise ride through backend="auto" and
+    # surface as a deep ValueError mid-run; reject it before doing anything.
+    try:
+        validate_backend_env()
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
     if args.command == "list":
         for name in registry.kernel_names():
             print(name)
@@ -438,11 +543,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"pieces: {result.piece_count}, " + _model_stats_line(result, cached, not args.no_store))
         return 0
 
+    if args.command == "curve":
+        return _run_curve(args, machine, scop)
+
     if args.command == "simulate":
         try:
             result = _simulator(machine, args.associativity, args.backend).run(scop)
-        except (BackendUnavailableError, ValueError) as exc:
-            # ValueError covers a bad $REPRO_BACKEND leaking through "auto".
+        except BackendUnavailableError as exc:
+            # $REPRO_BACKEND itself was validated at entry; this is the
+            # explicit-numpy-without-NumPy case.
             print(str(exc), file=sys.stderr)
             return 2
         rows = [
@@ -483,6 +592,58 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1 if disagreement else 0
 
     return 1
+
+
+def _run_curve(args, machine: MachineModel, scop) -> int:
+    """``curve`` subcommand: one analysis, a whole capacity sweep."""
+    try:
+        sweep = _curve_capacities(args, machine)
+    except _ArgsError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        session = _session_from_args(args, machine).capacities(*sweep)
+    except SessionConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    result, cached, exit_code = _model_result_with_store(args, session, scop)
+    if result is None:
+        return exit_code
+    curve = result.miss_curve
+    if curve is None:
+        print("analysis result carries no miss curve (stale store payload?)", file=sys.stderr)
+        return 3
+    if args.json:
+        points = []
+        for size in sweep:
+            lines = max(1, size // machine.line_size)
+            points.append(
+                {
+                    "capacity_bytes": size,
+                    "capacity_lines": lines,
+                    "capacity_misses": curve.misses_at(lines),
+                    "misses": curve.total_misses_at(lines),
+                    "miss_ratio": curve.miss_ratio_at(lines),
+                }
+            )
+        payload = {
+            "kernel": scop.name,
+            "dataset": args.dataset,
+            "line_size": machine.line_size,
+            "levels": [level.size for level in machine.levels],
+            "used_fallback": result.used_fallback,
+            "elapsed_seconds": result.timing.total_seconds,
+            "curve": curve.to_dict(),
+            "sweep": points,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    title = f"{scop.name} ({args.dataset}) — miss curve over {len(sweep)} capacities"
+    if result.used_fallback:
+        title += " (exact, from trace fallback)"
+    print(format_miss_curve(curve, sweep, title=title))
+    print(_model_stats_line(result, cached, not args.no_store))
+    return 0
 
 
 def _run_kernels(args) -> int:

@@ -2,6 +2,7 @@
 
 from .capacity import CapacityCounter, CapacityCountStats, CounterOptions
 from .config import KIB, MIB, CacheLevelSpec, MachineModel
+from .curve import MissCurve
 from .distance import AccessDistances, DistancePiece, StackDistanceAnalysis
 from .model import CacheModel, ModelOptions, analyze_kernel
 from .prevmap import ModelFallbackRequired, PrevMapBuilder, PrevRegion
@@ -20,6 +21,7 @@ __all__ = [
     "LevelMissCounts",
     "MIB",
     "MachineModel",
+    "MissCurve",
     "ModelFallbackRequired",
     "ModelOptions",
     "ModelResult",

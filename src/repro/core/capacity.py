@@ -11,18 +11,25 @@ remaining dimensions are still counted symbolically.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..isl.constraints import ConstraintSystem, enumerate_points, ge
-from ..isl.counting import CountingError, cardinality
+from ..isl.counting import CountingError, Piece, cardinality, count_points
 from ..isl.qpoly import Div, QPoly
 from .distance import DistancePiece
 from .elimination import equalize, rasterize
 from .prevmap import ModelFallbackRequired
 from .regions import feasible
 
-__all__ = ["CapacityCounter", "CapacityCountStats", "CounterOptions"]
+__all__ = ["CAPACITY_PARAM", "CapacityCounter", "CapacityCountStats", "CounterOptions"]
+
+#: Fresh parameter name standing for the cache capacity (in lines) in the
+#: parametric miss counts behind :meth:`CapacityCounter.count_curve`.  The
+#: ``$`` keeps it disjoint from loop variables, like ``cnt$`` in
+#: :mod:`repro.core.distance`.
+CAPACITY_PARAM = "cap$"
 
 
 @dataclass
@@ -47,6 +54,10 @@ class CapacityCountStats:
     equalized_pieces: int = 0
     rasterized_pieces: int = 0
     enumerated_points: int = 0
+    #: Curve building: pieces whose full capacity axis was covered by one
+    #: parametric count, and pieces that fell back to per-capacity counting.
+    parametric_pieces: int = 0
+    parametric_fallbacks: int = 0
     #: For every non-affine polynomial encountered: the number of dimensions
     #: that could still be counted symbolically (Table 1 of the paper).
     nonaffine_affine_dims: List[int] = field(default_factory=list)
@@ -58,6 +69,8 @@ class CapacityCountStats:
         self.equalized_pieces += other.equalized_pieces
         self.rasterized_pieces += other.rasterized_pieces
         self.enumerated_points += other.enumerated_points
+        self.parametric_pieces += other.parametric_pieces
+        self.parametric_fallbacks += other.parametric_fallbacks
         self.nonaffine_affine_dims.extend(other.nonaffine_affine_dims)
 
 
@@ -95,6 +108,10 @@ class CapacityCounter:
         # piece kept in the value so identity cannot be recycled.
         self._rewrite_cache: Dict[int, tuple] = {}
         self._enumeration_cache: Dict[int, tuple] = {}
+        #: Memoized parametric miss counts per affine piece (the chambers of
+        #: the capacity axis); ``None`` records a failed parametric attempt
+        #: so later grids go straight to the per-capacity fallback.
+        self._chamber_cache: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -105,6 +122,44 @@ class CapacityCounter:
         for piece in pieces:
             total += self._count_piece(piece, capacity_lines)
         return total
+
+    def count_curve(self, pieces: Sequence[DistancePiece], capacities: Sequence[int]) -> List[int]:
+        """Miss counts for *every* capacity of a sorted grid in one pass.
+
+        This is the symbolic half of the miss-curve layer (see
+        :mod:`repro.core.curve`): instead of re-walking the pieces once per
+        capacity, every piece is partitioned along the capacity axis exactly
+        once —
+
+        * a **constant** piece of value ``v`` misses all capacities below
+          ``v``; one (memoized) domain cardinality covers the whole grid;
+        * an **affine** piece is counted *parametrically*: the capacity
+          becomes a fresh parameter (:data:`CAPACITY_PARAM`) and one
+          :func:`~repro.isl.counting.count_points` call yields the chambers
+          of the capacity axis with a count polynomial each, evaluated at
+          every grid point by plain arithmetic.  If the parametric count
+          fails (or produces a non-monotone artefact) the piece degrades to
+          exact per-capacity counting;
+        * a **non-affine** piece goes through the same memoized
+          equalization/rasterization rewrites and partial-enumeration point
+          expansion as :meth:`count_misses`, with the bound sub-pieces
+          handled as above.
+
+        Returns one miss count per entry of ``capacities`` — identical to
+        ``[count_misses(pieces, c) for c in capacities]``, at a cost that is
+        nearly independent of the grid size.
+        """
+        grid = list(capacities)
+        if not grid:
+            raise ValueError("count_curve needs at least one capacity")
+        if grid[0] < 0:
+            raise ValueError(f"capacities must be >= 0 lines, got {grid[0]}")
+        if any(b <= a for a, b in zip(grid, grid[1:])):
+            raise ValueError(f"capacities must be strictly ascending: {grid}")
+        totals = [0] * len(grid)
+        for piece in pieces:
+            self._curve_piece(piece, grid, totals)
+        return totals
 
     # ------------------------------------------------------------------
     # Algorithm 1
@@ -161,6 +216,131 @@ class CapacityCounter:
                 kind = "rasterized"
         self._rewrite_cache[id(piece)] = (piece, kind, rewritten)
         return kind, rewritten
+
+    # ------------------------------------------------------------------
+    # Curve construction (Algorithm 1 along the whole capacity axis)
+    # ------------------------------------------------------------------
+    def _curve_piece(self, piece: DistancePiece, grid: List[int], totals: List[int]) -> None:
+        if self.budget is not None:
+            self.budget.charge()
+        self.stats.pieces_counted += 1
+        polynomial = piece.polynomial
+        if polynomial.is_constant():
+            self.stats.affine_pieces += 1
+            self._curve_constant(piece, grid, totals)
+            return
+        if polynomial.is_affine():
+            self.stats.affine_pieces += 1
+            self._curve_affine(piece, grid, totals)
+            return
+        kind, rewritten = self._nonaffine_rewrite(piece)
+        if kind == "equalized":
+            self.stats.equalized_pieces += 1
+            for sub in rewritten:
+                self._curve_piece(sub, grid, totals)
+            return
+        if kind == "rasterized":
+            self.stats.rasterized_pieces += 1
+            for sub in rewritten:
+                self._curve_piece(sub, grid, totals)
+            return
+        self.stats.nonaffine_pieces += 1
+        self._curve_partial_enumeration(piece, grid, totals)
+
+    def _curve_constant(self, piece: DistancePiece, grid: List[int], totals: List[int]) -> None:
+        """A constant distance ``v`` misses exactly the capacities below ``v``."""
+        value = piece.polynomial.constant_value()
+        split = bisect_left(grid, value)
+        if split == 0:
+            return
+        count = self._cardinality(piece.domain)
+        for index in range(split):
+            totals[index] += count
+
+    def _curve_affine(
+        self, piece: DistancePiece, grid: List[int], totals: List[int], *, memoize: bool = True
+    ) -> None:
+        """One parametric count covers the grid; per-capacity on failure."""
+        chambers = self._parametric_chambers(piece, memoize=memoize)
+        if chambers is not None:
+            values = _evaluate_chambers(chambers, grid)
+            # Exactness guard: the true per-piece curve is non-negative and
+            # non-increasing, so any parametric artefact (however unlikely)
+            # degrades to the exact per-capacity path instead of corrupting
+            # the result.
+            if values is not None and _is_monotone_curve(values):
+                self.stats.parametric_pieces += 1
+                for index, value in enumerate(values):
+                    totals[index] += value
+                return
+        self.stats.parametric_fallbacks += 1
+        for index, capacity_lines in enumerate(grid):
+            totals[index] += self._count_affine(piece, capacity_lines)
+
+    def _parametric_chambers(
+        self, piece: DistancePiece, *, memoize: bool = True
+    ) -> Optional[List[Piece]]:
+        """Chambers of ``|{x in domain : poly(x) > C}|`` over the capacity C.
+
+        Memoized per piece object (like the rewrite and enumeration caches);
+        a failed attempt is memoized as ``None`` so later grids skip straight
+        to the per-capacity fallback.  Partial-enumeration bound sub-pieces
+        pass ``memoize=False``: they are fresh objects per expansion replay
+        (never cache hits) and there can be up to ``max_enumerated_points``
+        of them, so pinning their chambers would defeat the
+        :attr:`MAX_CACHED_ENUMERATION` memory guard.
+
+        Chambers that still involve a variable other than the capacity (a
+        free parameter the per-capacity path maps to a model fallback) are
+        rejected here, so evaluation stays pure arithmetic over ``cap$``.
+        """
+        if memoize:
+            cached = self._chamber_cache.get(id(piece))
+            if cached is not None and cached[0] is piece:
+                return cached[1]
+        capacity = QPoly.variable(CAPACITY_PARAM)
+        system = piece.domain.conjoin(
+            [ge(piece.polynomial - capacity - 1, 0), ge(capacity, 0)]
+        )
+        count_vars = [v for v in self.loop_vars if system.involves(v)]
+        chambers: Optional[List[Piece]]
+        try:
+            chambers = count_points(system, count_vars)
+        except CountingError:
+            chambers = None
+        if chambers is not None and any(
+            (domain.variables() | polynomial.free_variables()) - {CAPACITY_PARAM}
+            for domain, polynomial in chambers
+        ):
+            chambers = None
+        if memoize:
+            self._chamber_cache[id(piece)] = (piece, chambers)
+        return chambers
+
+    def _curve_partial_enumeration(
+        self, piece: DistancePiece, grid: List[int], totals: List[int]
+    ) -> None:
+        """Point expansion once, then every bound sub-piece covers the grid."""
+        enumeration_vars = self._enumeration_variables(piece.polynomial)
+        symbolic_dims = len([v for v in self.loop_vars if v not in enumeration_vars])
+        self.stats.nonaffine_affine_dims.append(symbolic_dims)
+        if not self.options.partial_enumeration:
+            enumeration_vars = [
+                v for v in self.loop_vars if piece.domain.involves(v) or piece.polynomial.involves(v)
+            ]
+        if not enumeration_vars:
+            raise ModelFallbackRequired("non-affine piece without enumerable dimensions")
+        for bound_piece in self._bound_pieces(piece, enumeration_vars):
+            self.stats.enumerated_points += 1
+            if self.stats.enumerated_points > self.options.max_enumerated_points:
+                raise ModelFallbackRequired("partial enumeration exceeded the point budget")
+            bound_poly = bound_piece.polynomial
+            if bound_poly.is_constant():
+                self._curve_constant(bound_piece, grid, totals)
+            elif bound_poly.is_affine():
+                self._curve_affine(bound_piece, grid, totals, memoize=False)
+            else:
+                raise ModelFallbackRequired("partial enumeration left a non-affine polynomial")
 
     def _count_affine(self, piece: DistancePiece, capacity_lines: int) -> int:
         miss_set = piece.domain.conjoin([ge(piece.polynomial - (capacity_lines + 1), 0)])
@@ -249,6 +429,49 @@ class CapacityCounter:
             best = max(sorted(counts), key=lambda name: counts[name])
             selected.append(best)
         return selected
+
+
+def _evaluate_chambers(chambers: Sequence[Piece], grid: Sequence[int]) -> Optional[List[int]]:
+    """Evaluate parametric miss counts at every grid capacity.
+
+    The chambers are disjoint by construction, so the count at capacity ``c``
+    is the polynomial of whichever chamber contains ``{cap$: c}`` (zero when
+    none does).  Returns ``None`` when a polynomial evaluates to a
+    non-integer or mentions a variable beyond the capacity (defense in depth
+    behind the check in ``_parametric_chambers``) — the caller then falls
+    back to per-capacity counting.
+    """
+    values: List[int] = []
+    for capacity_lines in grid:
+        point = {CAPACITY_PARAM: capacity_lines}
+        total = 0
+        for domain, polynomial in chambers:
+            try:
+                if not _chamber_contains(domain, point):
+                    continue
+                total += polynomial.evaluate_int(point)
+            except (KeyError, ValueError):
+                return None
+        values.append(total)
+    return values
+
+
+def _chamber_contains(domain: ConstraintSystem, point: Dict[str, int]) -> bool:
+    for constraint in domain.constraints:
+        value = constraint.expr.evaluate(point)
+        if constraint.kind == "eq":
+            if value != 0:
+                return False
+        elif value < 0:
+            return False
+    return True
+
+
+def _is_monotone_curve(values: Sequence[int]) -> bool:
+    """Non-negative and non-increasing — every true per-piece curve is."""
+    return all(value >= 0 for value in values) and all(
+        later <= earlier for earlier, later in zip(values, values[1:])
+    )
 
 
 def _monomial_variables(monomial) -> Set[str]:

@@ -1,0 +1,201 @@
+"""Miss curves: one stack-distance analysis answering every cache size.
+
+The paper's central amortization (Section 4.3) is that symbolic stack
+distances are computed *once* and re-used for every cache level.  This module
+pushes the same move one layer up: a :class:`MissCurve` is a monotone step
+function ``capacity (in cache lines) -> capacity misses`` materialized as a
+sorted breakpoint table, so *any* capacity query — a hierarchy level, a
+design-space sweep point, an ad-hoc what-if — is an ``O(log n)`` lookup
+instead of a fresh counting pass.
+
+Two producers build curves:
+
+* the **symbolic pipeline** partitions every distance piece along the
+  capacity axis (see :meth:`repro.core.capacity.CapacityCounter.count_curve`)
+  and samples the partition at the requested capacity grid; the resulting
+  curve is exact at each grid point and, by monotonicity, on every interval
+  whose two surrounding grid points agree;
+* the **concrete (trace) pipeline** gets the curve nearly for free from the
+  per-access distance histogram (``np.bincount``/``searchsorted`` on the
+  vectorized backend, a dictionary pass on the reference) — that curve has a
+  breakpoint at every attained distance and is therefore exact at *every*
+  capacity (``exact=True``).
+
+Both representations serialize identically (see :meth:`MissCurve.to_dict`,
+schema-versioned) and ride inside
+:class:`~repro.core.results.ModelResult` payloads, so the persistent
+analysis store caches the full curve alongside the per-level counts.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["CURVE_SCHEMA_VERSION", "MissCurve"]
+
+#: JSON schema version of serialized :class:`MissCurve` payloads.
+CURVE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class MissCurve:
+    """Capacity misses as a monotone step function of the cache capacity.
+
+    ``capacities`` holds the breakpoints in cache lines, sorted strictly
+    ascending and starting at ``0``; ``counts[i]`` is the number of capacity
+    misses of a fully associative LRU cache with ``capacities[i]`` lines.
+    Between breakpoints the curve snaps *down* to the nearest smaller
+    breakpoint, which is an exact answer whenever the two surrounding
+    breakpoints agree (the true curve is monotone) and an upper bound
+    otherwise; curves with ``exact=True`` carry a breakpoint at every
+    attained stack distance, so every query is exact.
+    """
+
+    line_size: int
+    accesses: int
+    compulsory: int
+    capacities: Tuple[int, ...]
+    counts: Tuple[int, ...]
+    #: True when every change point of the underlying distance distribution
+    #: is a breakpoint (trace-derived curves), making all queries exact.
+    exact: bool = False
+
+    def __post_init__(self) -> None:
+        if self.line_size <= 0:
+            raise ValueError("line size must be positive")
+        if len(self.capacities) != len(self.counts):
+            raise ValueError(
+                f"{len(self.capacities)} breakpoints but {len(self.counts)} counts"
+            )
+        if not self.capacities or self.capacities[0] != 0:
+            raise ValueError("the breakpoint table must start at capacity 0")
+        if any(b <= a for a, b in zip(self.capacities, self.capacities[1:])):
+            raise ValueError(f"breakpoints must be strictly ascending: {self.capacities}")
+        if any(count < 0 for count in self.counts):
+            raise ValueError(f"miss counts must be non-negative: {self.counts}")
+        if any(b > a for a, b in zip(self.counts, self.counts[1:])):
+            raise ValueError(
+                f"miss counts must be non-increasing in capacity: {self.counts}"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def misses_at(self, capacity_lines: int) -> int:
+        """Capacity misses of a cache with ``capacity_lines`` lines.
+
+        ``O(log n)`` in the number of breakpoints.  Exact at every
+        breakpoint (and everywhere for ``exact`` curves); between
+        breakpoints the value of the nearest smaller breakpoint is returned.
+        """
+        if capacity_lines < 0:
+            raise ValueError(f"capacity must be >= 0 lines, got {capacity_lines}")
+        return self.counts[bisect_right(self.capacities, capacity_lines) - 1]
+
+    def misses_at_bytes(self, cache_size: int) -> int:
+        """Capacity misses of a cache of ``cache_size`` bytes (>= one line)."""
+        return self.misses_at(max(1, cache_size // self.line_size))
+
+    def total_misses_at(self, capacity_lines: int) -> int:
+        """Compulsory plus capacity misses at ``capacity_lines`` lines."""
+        return self.compulsory + self.misses_at(capacity_lines)
+
+    def miss_ratio_at(self, capacity_lines: int) -> float:
+        total = self.total_misses_at(capacity_lines)
+        return total / self.accesses if self.accesses else 0.0
+
+    def sample(self, capacities_lines: Sequence[int]) -> List[int]:
+        """Capacity misses at each of the given capacities (in lines)."""
+        return [self.misses_at(capacity) for capacity in capacities_lines]
+
+    def is_breakpoint(self, capacity_lines: int) -> bool:
+        """True when the curve is exact at ``capacity_lines`` by construction."""
+        index = bisect_left(self.capacities, capacity_lines)
+        return index < len(self.capacities) and self.capacities[index] == capacity_lines
+
+    def __len__(self) -> int:
+        return len(self.capacities)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(zip(self.capacities, self.counts))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_histogram(
+        cls,
+        histogram: Mapping[Optional[int], int],
+        *,
+        line_size: int,
+        exact: bool = True,
+    ) -> "MissCurve":
+        """Curve from a stack-distance histogram (``None`` = first touches).
+
+        Accepts exactly the histograms the two concrete backends produce
+        (:meth:`repro.simulator.lru.StackDistanceProfiler.histogram` and
+        :func:`repro.simulator.vectorized.distance_histogram`); negative
+        keys are treated like ``None`` for the vectorized ``-1`` convention.
+        """
+        compulsory = 0
+        finite: Dict[int, int] = {}
+        for distance, count in histogram.items():
+            if count < 0:
+                raise ValueError(f"negative histogram count {count} for {distance!r}")
+            if distance is None or distance < 0:
+                compulsory += count
+            else:
+                finite[int(distance)] = finite.get(int(distance), 0) + count
+        ordered = sorted(finite.items())
+        total = sum(finite.values())
+        capacities = [0]
+        counts = [total - sum(count for distance, count in ordered if distance == 0)]
+        running = counts[0]
+        for distance, count in ordered:
+            if distance == 0:
+                continue
+            running -= count
+            capacities.append(distance)
+            counts.append(running)
+        return cls(
+            line_size=line_size,
+            accesses=compulsory + total,
+            compulsory=compulsory,
+            capacities=tuple(capacities),
+            counts=tuple(counts),
+            exact=exact,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "schema_version": CURVE_SCHEMA_VERSION,
+            "line_size": self.line_size,
+            "accesses": self.accesses,
+            "compulsory": self.compulsory,
+            "capacities": list(self.capacities),
+            "counts": list(self.counts),
+            "exact": self.exact,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MissCurve":
+        version = data.get("schema_version", 1)
+        if isinstance(version, int) and version > CURVE_SCHEMA_VERSION:
+            raise ValueError(
+                f"miss curve payload has schema_version {version}; "
+                f"this build reads <= {CURVE_SCHEMA_VERSION}"
+            )
+        return cls(
+            line_size=data["line_size"],
+            accesses=data["accesses"],
+            compulsory=data["compulsory"],
+            capacities=tuple(int(value) for value in data["capacities"]),
+            counts=tuple(int(value) for value in data["counts"]),
+            exact=bool(data.get("exact", False)),
+        )

@@ -11,7 +11,11 @@
    (:mod:`repro.core.capacity`).
 
 Stack distances are computed once and re-used for every cache level, exactly
-like the paper (Section 4.3, Figure 13).  If the symbolic pipeline cannot
+like the paper (Section 4.3, Figure 13) — and, through the miss-curve layer
+(:mod:`repro.core.curve`), for every *other* capacity as well: each access's
+distance pieces go through one :meth:`~repro.core.capacity.CapacityCounter.count_curve`
+pass whose samples provide the per-level counts and aggregate into the
+result's :class:`~repro.core.curve.MissCurve`.  If the symbolic pipeline cannot
 handle a program exactly — or exceeds the configured deterministic work
 budget (:mod:`repro.core.budget`) — the model optionally falls back to the
 trace-based reference computation and flags the result, so callers always
@@ -27,7 +31,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engine.cache import CardinalityCache
 from ..isl.counting import CountingError
@@ -35,6 +39,7 @@ from ..scop.scop import Scop
 from .budget import BudgetExhausted, WorkBudget, active_budget
 from .capacity import CapacityCounter, CounterOptions
 from .config import MachineModel
+from .curve import MissCurve
 from .distance import StackDistanceAnalysis
 from .prevmap import ModelFallbackRequired
 from .results import AccessMissCounts, LevelMissCounts, ModelResult, TimingBreakdown
@@ -71,6 +76,11 @@ class ModelOptions:
     #: ``"auto"`` (NumPy when installed, honouring ``$REPRO_BACKEND``).
     #: Both produce identical :class:`ModelResult` payloads.
     backend: str = "auto"
+    #: Extra cache sizes (in bytes) to include as breakpoints of the
+    #: result's :class:`~repro.core.curve.MissCurve` beyond the machine's
+    #: hierarchy levels; ``None`` keeps just the hierarchy.  The curve shares
+    #: the single counting pass, so sweep points are nearly free.
+    curve_capacities: Optional[Tuple[int, ...]] = None
 
     def counter_options(self) -> CounterOptions:
         return CounterOptions(
@@ -142,6 +152,20 @@ class CacheModel:
             return PersistentCardinalityCache(AnalysisStore(self.options.store_path))
         return CardinalityCache()
 
+    def _curve_grid_lines(self) -> List[int]:
+        """Sorted capacity grid (in lines) of the result's miss curve.
+
+        Always contains ``0`` and every hierarchy level; extra sweep points
+        come from :attr:`ModelOptions.curve_capacities` (bytes, converted
+        with the machine's line size exactly like
+        :meth:`~repro.core.config.CacheLevelSpec.capacity_lines`).
+        """
+        grid = {0}
+        grid.update(self.machine.capacities_in_lines())
+        for size in self.options.curve_capacities or ():
+            grid.add(max(1, int(size) // self.machine.line_size))
+        return sorted(grid)
+
     def _analyze_symbolic_under_budget(self, scop: Scop, budget: WorkBudget) -> ModelResult:
         line_size = self.machine.line_size
         analysis = StackDistanceAnalysis(scop, line_size=line_size, budget=budget)
@@ -150,6 +174,13 @@ class CacheModel:
         capacity_start = time.perf_counter()
         capacities = self.machine.capacities_in_lines()
         labels = self.machine.level_labels()
+        # One counting pass serves every capacity: the per-level counts below
+        # are read off the same per-access curves that aggregate into the
+        # kernel-level MissCurve (fixed-capacity analysis is now a curve
+        # sample, not a separate algorithm).
+        grid = self._curve_grid_lines()
+        level_slots = [grid.index(capacity) for capacity in capacities]
+        curve_totals = [0] * len(grid)
         # One memoizing cache per analysis job: repeated first-touch and
         # capacity counts (e.g. the same constant-distance domain counted for
         # every hierarchy level) are served from memory instead of re-derived.
@@ -175,15 +206,16 @@ class CacheModel:
             for domain in access_distances.first_touch_domains:
                 compulsory += self._domain_cardinality(domain, statement.loop_vars, cardinality_cache)
 
-            capacity_per_level: List[int] = []
             counter = CapacityCounter(
                 statement.loop_vars,
                 self.options.counter_options(),
                 cardinality_cache=cardinality_cache,
                 budget=budget,
             )
-            for capacity_lines in capacities:
-                capacity_per_level.append(counter.count_misses(access_distances.pieces, capacity_lines))
+            access_curve = counter.count_curve(access_distances.pieces, grid)
+            capacity_per_level = [access_curve[slot] for slot in level_slots]
+            for index, count in enumerate(access_curve):
+                curve_totals[index] += count
             piece_count += counter.stats.pieces_counted
             nonaffine_pieces += counter.stats.nonaffine_pieces
             nonaffine_dims.extend(counter.stats.nonaffine_affine_dims)
@@ -203,6 +235,14 @@ class CacheModel:
         capacity_seconds = time.perf_counter() - capacity_start
 
         level_results = self._aggregate_levels(per_access, labels)
+        miss_curve = MissCurve(
+            line_size=line_size,
+            accesses=sum(entry.accesses for entry in per_access),
+            compulsory=sum(entry.compulsory for entry in per_access),
+            capacities=tuple(grid),
+            counts=tuple(curve_totals),
+            exact=False,
+        )
         store_stats = getattr(getattr(cardinality_cache, "store", None), "stats", None)
         timing = TimingBreakdown(
             stack_distance_seconds=analysis.elapsed_seconds,
@@ -224,6 +264,7 @@ class CacheModel:
             nonaffine_affine_dims=nonaffine_dims,
             enumerated_points=enumerated_points,
             used_fallback=False,
+            miss_curve=miss_curve,
         )
 
     def _aggregate_levels(self, per_access: Sequence[AccessMissCounts], labels: Sequence[str]) -> List[LevelMissCounts]:
@@ -259,24 +300,23 @@ class CacheModel:
         start = time.perf_counter()
         labels = self.machine.level_labels()
         capacities = self.machine.capacities_in_lines()
+        # The full distance histogram costs the same one profiling pass as
+        # the per-level counts did, and its suffix sums are the entire miss
+        # curve — exact at every capacity, so the fallback answers arbitrary
+        # sweeps as cheaply as the hierarchy.
         if resolve_backend(self.options.backend) == "numpy":
-            from ..simulator.vectorized import trace_model_counts
+            from ..simulator.vectorized import trace_model_curve
 
-            accesses, compulsory_total, capacity_misses = trace_model_counts(
-                scop, line_size=self.machine.line_size, capacities=capacities
-            )
+            histogram = trace_model_curve(scop, line_size=self.machine.line_size)
         else:
             from ..simulator.lru import StackDistanceProfiler
             from ..simulator.trace import TraceGenerator
 
             generator = TraceGenerator(scop, line_size=self.machine.line_size, padded=True)
-            trace = list(generator.line_trace())
-            distances = StackDistanceProfiler().profile(trace)
-            accesses = len(trace)
-            compulsory_total = sum(1 for d in distances if d is None)
-            capacity_misses = [
-                sum(1 for d in distances if d is not None and d > capacity) for capacity in capacities
-            ]
+            histogram = StackDistanceProfiler().histogram(generator.line_trace())
+        miss_curve = MissCurve.from_histogram(
+            histogram, line_size=self.machine.line_size, exact=True
+        )
 
         level_results = []
         for index, label in enumerate(labels):
@@ -284,9 +324,9 @@ class CacheModel:
                 LevelMissCounts(
                     name=label,
                     cache_size=self.machine.levels[index].size,
-                    accesses=accesses,
-                    compulsory=compulsory_total,
-                    capacity=capacity_misses[index],
+                    accesses=miss_curve.accesses,
+                    compulsory=miss_curve.compulsory,
+                    capacity=miss_curve.misses_at(capacities[index]),
                 )
             )
         elapsed = time.perf_counter() - start
@@ -297,6 +337,7 @@ class CacheModel:
             per_access=[],
             timing=timing,
             used_fallback=used_fallback,
+            miss_curve=miss_curve,
         )
 
     # ------------------------------------------------------------------

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+from .curve import MissCurve
 
 __all__ = ["AccessMissCounts", "LevelMissCounts", "ModelResult", "SCHEMA_VERSION", "TimingBreakdown"]
 
@@ -11,7 +13,10 @@ __all__ = ["AccessMissCounts", "LevelMissCounts", "ModelResult", "SCHEMA_VERSION
 #: :meth:`ModelResult.from_dict` is tolerant: payloads without the field
 #: (written before versioning existed) are accepted, unknown extra keys are
 #: ignored, and only payloads declaring a *newer* version are rejected.
-SCHEMA_VERSION = 1
+#: Version 2 added the ``miss_curve`` section (see
+#: :class:`repro.core.curve.MissCurve`); readers treat a missing curve as
+#: ``None``.
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -191,7 +196,8 @@ class ModelResult:
     level_results: List[LevelMissCounts]
     per_access: List[AccessMissCounts]
     timing: TimingBreakdown
-    #: Number of separately counted pieces (Figure 11/12 solid lines).
+    #: Number of separately counted pieces (Figure 11/12 solid lines); each
+    #: piece is counted once for the whole capacity axis, not once per level.
     piece_count: int = 0
     nonaffine_pieces: int = 0
     #: Affine-dimension histogram of non-affine polynomials (Table 1).
@@ -200,6 +206,10 @@ class ModelResult:
     #: True when the symbolic pipeline had to fall back to trace-based
     #: computation for this kernel.
     used_fallback: bool = False
+    #: Capacity-miss curve of the whole kernel (one counting pass answering
+    #: every cache size); trace-derived curves are exact at every capacity,
+    #: symbolic ones at their breakpoints (see :class:`MissCurve`).
+    miss_curve: Optional[MissCurve] = None
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -249,6 +259,7 @@ class ModelResult:
             "nonaffine_affine_dims": list(self.nonaffine_affine_dims),
             "enumerated_points": self.enumerated_points,
             "used_fallback": self.used_fallback,
+            "miss_curve": self.miss_curve.to_dict() if self.miss_curve is not None else None,
             "timing": self.timing.to_dict(),
         }
 
@@ -273,4 +284,9 @@ class ModelResult:
             nonaffine_affine_dims=list(data.get("nonaffine_affine_dims", [])),
             enumerated_points=data.get("enumerated_points", 0),
             used_fallback=data.get("used_fallback", False),
+            miss_curve=(
+                MissCurve.from_dict(data["miss_curve"])
+                if data.get("miss_curve") is not None
+                else None
+            ),
         )

@@ -261,6 +261,7 @@ def _execute_job(payload: Tuple[int, JobSpec, Optional[str]]) -> JobRecord:
             cross_check=spec.cross_check,
             store_path=store_path,
             backend=spec.backend,
+            curve_capacities=spec.curve_capacities or None,
         )
         record.result = CacheModel(machine, options).analyze(scop)
     except Exception as exc:  # noqa: BLE001 - error isolation is the contract

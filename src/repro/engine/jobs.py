@@ -50,6 +50,11 @@ class JobSpec:
     #: keys are shared across them (and the store never masks a backend
     #: divergence because equivalence jobs run store-less).
     backend: str = field(default="auto", compare=False)
+    #: Extra miss-curve breakpoints in bytes (see
+    #: :attr:`repro.core.model.ModelOptions.curve_capacities`).  Part of the
+    #: job identity: the curve rides inside the result payload, so runs with
+    #: different sweep grids must not alias one store entry.
+    curve_capacities: Tuple[int, ...] = ()
 
     def key(self) -> Tuple:
         """Hashable identity used for result memoization.
@@ -95,6 +100,7 @@ class JobSpec:
             self.partial_enumeration,
             self.symbolic_work_budget,
             self.cross_check,
+            self.curve_capacities,
         )
 
     def describe(self) -> str:

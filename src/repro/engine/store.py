@@ -316,7 +316,14 @@ class AnalysisStore:
         return sum(1 for _ in self._entries())
 
     def _evict_lru(self) -> None:
-        """Delete stalest entries (by mtime; reads refresh it) until under cap."""
+        """Delete stalest entries (by mtime; reads refresh it) until under cap.
+
+        Ordering uses ``st_mtime_ns``: the float ``st_mtime`` is too coarse
+        to separate entries written in the same tick (routine under the mp
+        pool), and the path tiebreak alone would then pick victims by name
+        rather than by age.  Nanosecond stamps plus the deterministic path
+        tiebreak keep the eviction order stable across runs and processes.
+        """
         entries = []
         total = 0
         for path in self._entries():
@@ -324,11 +331,11 @@ class AnalysisStore:
                 stat = path.stat()
             except OSError:
                 continue
-            entries.append((stat.st_mtime, stat.st_size, path))
+            entries.append((stat.st_mtime_ns, stat.st_size, path))
             total += stat.st_size
         if total > self.max_bytes:
             entries.sort(key=lambda item: (item[0], str(item[2])))
-            for _mtime, size, path in entries:
+            for _mtime_ns, size, path in entries:
                 if total <= self.max_bytes:
                     break
                 _unlink_quietly(path)

@@ -38,15 +38,18 @@ __all__ = [
 ]
 
 #: Schema version of the ``BENCH_*.json`` payload (2 = added the ``trace``
-#: simulator workload; readers treat a missing ``trace`` section as absent).
-BENCH_SCHEMA = 2
+#: simulator workload; 3 = added the ``curve`` sweep workload; readers treat
+#: missing sections as absent).
+BENCH_SCHEMA = 3
 
 #: Named workload suites: kernels x datasets analysed under a deterministic
 #: work budget, plus a ``trace`` simulator workload that times the concrete
 #: pipeline under both backends and records the numpy-vs-python speedup
-#: (the fig10 simulator-accuracy path).  ``smoke`` finishes in seconds (CI
-#: gate); ``full`` covers the whole PolyBench registry for offline trend
-#: tracking.
+#: (the fig10 simulator-accuracy path), plus a ``curve`` workload that
+#: measures the cost of a many-point capacity sweep via
+#: :class:`~repro.core.MissCurve` against a single fixed-capacity analysis.
+#: ``smoke`` finishes in seconds (CI gate); ``full`` covers the whole
+#: PolyBench registry for offline trend tracking.
 SUITES: Dict[str, Dict] = {
     "smoke": {
         "kernels": ["gemm", "atax", "bicg", "mvt", "trisolv", "jacobi-1d"],
@@ -57,6 +60,11 @@ SUITES: Dict[str, Dict] = {
         # is far from the noise floor (measured ~40-60x), small enough that
         # the reference pass stays under a second.
         "trace": {"size": 14, "rounds": 3, "min_speedup": 10.0},
+        # 64-point sweep vs one fixed-capacity analysis on a kernel the
+        # symbolic pipeline completes in seconds; the 2x ceiling is the
+        # miss-curve acceptance bar (shared counting pass, sweep points
+        # nearly free).
+        "curve": {"size": 32, "points": 64, "max_ratio": 2.0},
     },
     "full": {
         "kernels": "all",
@@ -64,6 +72,7 @@ SUITES: Dict[str, Dict] = {
         "levels": [(32 * 1024, 256 * 1024)],
         "budget": 10_000,
         "trace": {"size": 20, "rounds": 3, "min_speedup": 10.0},
+        "curve": {"size": 48, "points": 64, "max_ratio": 2.0},
     },
 }
 
@@ -179,6 +188,98 @@ def _run_trace_workload(config: Dict) -> Dict:
     return entry
 
 
+def _curve_workload_scop(size: int):
+    """The curve-sweep workload: a matrix-vector product of ``size``^2 updates.
+
+    One statement with three distinct reuse behaviours (``x`` reused within a
+    row, ``y`` reused across rows at distance ~``size``, ``A`` streamed), so
+    the miss curve has real structure across the sweep.  Element size equals
+    the line size, which keeps the symbolic pipeline fast enough to complete
+    un-budgeted in seconds.
+    """
+    from ..scop import ScopBuilder
+
+    builder = ScopBuilder("bench-curve-matvec", context={"N": size}, element_size=64)
+    A = builder.array("A", (size, size))
+    x = builder.array("x", (size,))
+    y = builder.array("y", (size,))
+    with builder.loop("i", 0, size):
+        with builder.loop("j", 0, size):
+            builder.stmt(
+                reads=[A[builder.v("i"), builder.v("j")], y[builder.v("j")], x[builder.v("i")]],
+                writes=[x[builder.v("i")]],
+            )
+    return builder.build()
+
+
+def _curve_sweep_bytes(points: int, line_size: int = 64) -> List[int]:
+    """Log-spaced sweep from one line to 4096 lines (deterministic)."""
+    low, high = line_size, line_size * 4096
+    ratio = high / low
+    return sorted({round(low * ratio ** (index / (points - 1))) for index in range(points)})
+
+
+def _run_curve_workload(config: Dict) -> Dict:
+    """Time a many-point capacity sweep against one fixed-capacity analysis.
+
+    Both runs use the full symbolic pipeline (no budget, no store).  The
+    sweep resolves every capacity through the result's
+    :class:`~repro.core.MissCurve`; its counts are additionally checked
+    against the exact trace-derived curve, so :func:`compare_reports` can
+    gate on correctness (``counts_match``, count drift vs the baseline) and
+    on the sweep staying under ``max_ratio`` times the single-capacity wall
+    time (the one-analysis-every-cache-size claim).
+    """
+    from ..api import Session
+    from ..core import CacheModel, ModelOptions
+
+    size = int(config.get("size", 32))
+    points = int(config.get("points", 64))
+    max_ratio = float(config.get("max_ratio", 2.0))
+    scop = _curve_workload_scop(size)
+    machine = (16 * 64,)  # one 16-line L1: y overflows it, x does not
+    sweep = _curve_sweep_bytes(points)
+
+    # Warm process-wide state (Faulhaber tables, interpreter specialization)
+    # with one untimed full-size run, so the single-vs-sweep ratio measures
+    # the sweep and not whichever analysis happened to go first.
+    Session().machine(machine).no_store().analyze(_curve_workload_scop(size))
+
+    session = Session().machine(machine).no_store()
+    start = time.perf_counter()
+    single = session.analyze(scop)
+    single_seconds = time.perf_counter() - start
+
+    sweep_session = Session().machine(machine).no_store().capacities(*sweep)
+    start = time.perf_counter()
+    swept = sweep_session.analyze(scop)
+    sweep_seconds = time.perf_counter() - start
+
+    curve = swept.miss_curve
+    lines = [max(1, size_bytes // 64) for size_bytes in sweep]
+    sweep_misses = curve.sample(lines) if curve is not None else None
+    reference = CacheModel(
+        session.machine_model, ModelOptions(backend="python")
+    ).analyze_by_trace(scop).miss_curve
+    counts_match = (
+        curve is not None
+        and sweep_misses == reference.sample(lines)
+        and single.level_results[0].misses == swept.level_results[0].misses
+    )
+    return {
+        "kernel": scop.name,
+        "accesses": swept.accesses,
+        "points": len(sweep),
+        "single_seconds": single_seconds,
+        "sweep_seconds": sweep_seconds,
+        "sweep_ratio": (sweep_seconds / single_seconds) if single_seconds else None,
+        "counts_match": counts_match,
+        "used_fallback": swept.used_fallback,
+        "sweep_misses": sweep_misses,
+        "max_ratio": max_ratio,
+    }
+
+
 def run_suite(
     suite: str,
     *,
@@ -204,6 +305,7 @@ def run_suite(
     )
     calibration = _calibrate()
     trace_entry = _run_trace_workload(config["trace"]) if config.get("trace") else None
+    curve_entry = _run_curve_workload(config["curve"]) if config.get("curve") else None
     batch = request.run()
 
     job_entries = []
@@ -261,6 +363,7 @@ def run_suite(
         },
         "store": dict(batch.store_stats) if batch.store_stats is not None else None,
         "trace": trace_entry,
+        "curve": curve_entry,
     }
     return report
 
@@ -311,7 +414,12 @@ def compare_reports(
       baseline, or when the numpy-vs-python speedup drops below the suite
       floor (``min_speedup``, the paper-claim gate) or collapses to under a
       quarter of the baseline ratio.  The speedup gate is skipped when NumPy
-      is not installed (the backend is an optional extra).
+      is not installed (the backend is an optional extra);
+    * the ``curve`` sweep workload regresses when the miss-curve counts
+      disagree with the exact trace reference or drift from the baseline
+      (accuracy), or when the many-point sweep costs more than ``max_ratio``
+      times a single fixed-capacity analysis (wall clock; skipped with
+      ``check_wall=False``).
     """
     regressions: List[str] = []
     if current.get("suite") != baseline.get("suite"):
@@ -357,6 +465,7 @@ def compare_reports(
         )
 
     regressions.extend(_compare_trace_workload(current, baseline, tolerance=tolerance))
+    regressions.extend(_compare_curve_workload(current, baseline, check_wall=check_wall))
 
     if check_wall:
         baseline_norm = _normalized_wall(baseline)
@@ -411,6 +520,43 @@ def _compare_trace_workload(current: Dict, baseline: Dict, *, tolerance: float) 
     return regressions
 
 
+def _compare_curve_workload(current: Dict, baseline: Dict, *, check_wall: bool) -> List[str]:
+    """Curve-sweep workload regressions (see :func:`compare_reports`)."""
+    regressions: List[str] = []
+    now = current.get("curve")
+    base = baseline.get("curve")
+    if now is None:
+        if base is not None:
+            regressions.append("accuracy: curve workload missing from current report")
+        return regressions
+    if now.get("counts_match") is False:
+        regressions.append(
+            "accuracy: curve workload sweep counts disagree with the exact trace reference"
+        )
+    if (
+        base
+        and base.get("sweep_misses") is not None
+        and now.get("sweep_misses") != base.get("sweep_misses")
+    ):
+        regressions.append(
+            "accuracy: curve workload sweep counts changed against the baseline"
+        )
+    if now.get("used_fallback"):
+        regressions.append(
+            "accuracy: curve workload fell back to the trace (the sweep must "
+            "exercise the symbolic curve)"
+        )
+    ratio = now.get("sweep_ratio")
+    ceiling = now.get("max_ratio") or (base or {}).get("max_ratio") or 0.0
+    if check_wall and ratio is not None and ceiling and ratio > ceiling:
+        regressions.append(
+            f"performance: {now.get('points', 0)}-point curve sweep costs "
+            f"{ratio:.2f}x a single fixed-capacity analysis (ceiling {ceiling:.1f}x; "
+            f"single {now.get('single_seconds', 0):.2f}s, sweep {now.get('sweep_seconds', 0):.2f}s)"
+        )
+    return regressions
+
+
 def format_bench_summary(report: Dict, regressions: Optional[Sequence[str]] = None) -> str:
     """Human-readable one-screen summary of a bench report."""
     totals = report.get("totals", {})
@@ -438,6 +584,17 @@ def format_bench_summary(report: Dict, regressions: Optional[Sequence[str]] = No
                 f"trace workload: {trace.get('accesses', 0)} accesses, "
                 f"python {trace.get('python_seconds', 0.0):.3f}s (NumPy not installed; no speedup measured)"
             )
+    curve = report.get("curve")
+    if curve:
+        ratio = curve.get("sweep_ratio")
+        ratio_text = f"{ratio:.2f}x" if ratio is not None else "n/a"
+        lines.append(
+            f"curve workload: {curve.get('points', 0)}-point sweep in "
+            f"{curve.get('sweep_seconds', 0.0):.2f}s vs single analysis "
+            f"{curve.get('single_seconds', 0.0):.2f}s ({ratio_text}, ceiling "
+            f"{curve.get('max_ratio', 0):.1f}x), counts "
+            f"{'match' if curve.get('counts_match') else 'DIFFER'}"
+        )
     if regressions is not None:
         if regressions:
             lines.append(f"{len(regressions)} regression(s) against baseline:")

@@ -4,8 +4,9 @@ The ``numpy`` and ``python`` backends must produce byte-identical results:
 every deterministic field of a serialized :class:`~repro.core.results.ModelResult`
 or batch payload — miss counts, per-access breakdowns, piece statistics,
 work units, cache counters — has to match exactly.  The only fields allowed
-to differ are wall-clock measurements (``*_seconds``), which depend on the
-machine, not on the computation.
+to differ are wall-clock measurements (``*_seconds``) and the ratio fields
+derived from them (``speedup``, ``sweep_ratio``, ``normalized_wall``),
+which depend on the machine, not on the computation.
 
 :func:`normalize` strips exactly those volatile fields; :func:`diff_payloads`
 reports every remaining difference with its JSON path.  The module doubles
@@ -30,19 +31,31 @@ __all__ = ["diff_payloads", "main", "normalize"]
 #: run; everything else must be byte-identical across backends.
 _VOLATILE_SUFFIX = "_seconds"
 
+#: Machine-dependent ratios *derived from* wall-clock fields (the bench
+#: report's numpy-vs-python ``speedup``, the curve workload's
+#: ``sweep_ratio``, calibration-normalized ``normalized_wall``): stripping
+#: only the raw ``*_seconds`` inputs would leave these to spuriously fail
+#: cross-run diffs of bench/trace payloads.
+_VOLATILE_KEYS = frozenset({"speedup", "sweep_ratio", "normalized_wall"})
+
+
+def _is_volatile_key(key) -> bool:
+    return isinstance(key, str) and (key.endswith(_VOLATILE_SUFFIX) or key in _VOLATILE_KEYS)
+
 
 def normalize(value):
-    """Recursively drop wall-clock fields from a JSON payload.
+    """Recursively drop wall-clock-dependent fields from a JSON payload.
 
     Every dictionary key ending in ``_seconds`` (``elapsed_seconds``,
-    ``stack_distance_seconds``, ``wall_seconds``, ...) is removed; all other
+    ``stack_distance_seconds``, ``wall_seconds``, ...) is removed, as are
+    the ratio fields derived from them (see ``_VOLATILE_KEYS``); all other
     structure and values are preserved untouched.
     """
     if isinstance(value, dict):
         return {
             key: normalize(entry)
             for key, entry in value.items()
-            if not (isinstance(key, str) and key.endswith(_VOLATILE_SUFFIX))
+            if not _is_volatile_key(key)
         }
     if isinstance(value, list):
         return [normalize(entry) for entry in value]

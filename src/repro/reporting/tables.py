@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["format_table", "format_series", "geometric_mean"]
+__all__ = ["format_miss_curve", "format_table", "format_series", "geometric_mean"]
 
 
 def geometric_mean(values: Sequence[float]) -> float:
@@ -33,6 +33,35 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence], *, title: str
     for row in rendered_rows:
         lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_miss_curve(curve, capacities_bytes: Sequence[int], *, title: str = "") -> str:
+    """Render a :class:`~repro.core.MissCurve` sampled at byte capacities.
+
+    One row per requested capacity: size, capacity in lines, the capacity
+    misses read off the curve, total misses (with compulsory), and the miss
+    ratio.  Rows where the curve is exact by construction (a breakpoint) are
+    marked; on trace-derived curves every capacity is exact.
+    """
+    rows = []
+    for size in capacities_bytes:
+        lines = max(1, int(size) // curve.line_size)
+        exact = "yes" if curve.exact or curve.is_breakpoint(lines) else "snap"
+        rows.append(
+            (
+                size,
+                lines,
+                curve.misses_at(lines),
+                curve.total_misses_at(lines),
+                curve.miss_ratio_at(lines),
+                exact,
+            )
+        )
+    return format_table(
+        ["size [B]", "lines", "capacity", "misses", "miss ratio", "exact"],
+        rows,
+        title=title,
+    )
 
 
 def format_series(name: str, points: Dict, *, unit: str = "") -> str:

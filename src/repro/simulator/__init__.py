@@ -12,7 +12,13 @@ from .hierarchy import CacheHierarchySimulator, CacheLevelConfig
 from .lru import CacheStatistics, FullyAssociativeLRU, StackDistanceProfiler, simulate_fully_associative
 from .set_assoc import ReplacementPolicy, SetAssociativeCache
 from .trace import ArrayLayout, MemoryAccess, TraceGenerator
-from .vectorized import BACKENDS, BackendUnavailableError, numpy_available, resolve_backend
+from .vectorized import (
+    BACKENDS,
+    BackendUnavailableError,
+    numpy_available,
+    resolve_backend,
+    validate_backend_env,
+)
 
 __all__ = [
     "ArrayLayout",
@@ -33,4 +39,5 @@ __all__ = [
     "resolve_backend",
     "simulate_fully_associative",
     "simulate_scop",
+    "validate_backend_env",
 ]

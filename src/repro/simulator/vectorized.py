@@ -66,6 +66,8 @@ __all__ = [
     "simulate_hierarchy_arrays",
     "stack_distances",
     "trace_arrays",
+    "trace_model_curve",
+    "validate_backend_env",
 ]
 
 #: Accepted values of the ``backend`` option.
@@ -91,6 +93,22 @@ def default_backend() -> str:
     return "numpy" if numpy_available() else "python"
 
 
+def validate_backend_env() -> None:
+    """Fail fast on a bad ``$REPRO_BACKEND`` value.
+
+    Entry points (the CLI and :class:`repro.api.Session`) call this eagerly
+    so a typo in the environment surfaces immediately with the offending
+    value named, instead of leaking through ``backend="auto"`` into a deep
+    :class:`ValueError` the first time a trace runs.
+    """
+    env = os.environ.get(BACKEND_ENV, "").strip().lower()
+    if env and env not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {env!r} in ${BACKEND_ENV} "
+            f"(expected {'|'.join(BACKENDS)})"
+        )
+
+
 def resolve_backend(backend: str = "auto") -> str:
     """Resolve a backend request to a concrete implementation name.
 
@@ -107,8 +125,8 @@ def resolve_backend(backend: str = "auto") -> str:
         from_env = bool(env) and env != "auto"
         name = default_backend()
     if name not in ("numpy", "python"):
-        source = f"${BACKEND_ENV}={name!r}" if from_env else repr(backend)
-        raise ValueError(f"unknown backend {source}; choose from {', '.join(BACKENDS)}")
+        source = f"{name!r} in ${BACKEND_ENV}" if from_env else repr(backend)
+        raise ValueError(f"unknown backend {source} (expected {'|'.join(BACKENDS)})")
     if name == "numpy" and not numpy_available():
         raise BackendUnavailableError(
             "backend 'numpy' requested but NumPy is not installed; "
@@ -514,17 +532,14 @@ def simulate_hierarchy_arrays(trace: TraceArrays, configs: Sequence) -> Optional
     return results
 
 
-def trace_model_counts(
-    scop: Scop, *, line_size: int, capacities: Sequence[int]
-) -> Tuple[int, int, List[int]]:
-    """(accesses, compulsory, per-capacity capacity misses) of the exact trace.
+def trace_model_curve(scop: Scop, *, line_size: int) -> Dict[Optional[int], int]:
+    """Full stack-distance histogram of the exact trace (``None`` bucket =
+    first touches), the concrete feedstock of
+    :meth:`repro.core.curve.MissCurve.from_histogram` — the vectorized body
+    of the analytical model's trace fallback.
 
-    This is the vectorized body of the analytical model's trace fallback:
-    one trace generation, one profiling pass, then one threshold comparison
-    per hierarchy level.
+    One trace generation plus one profiling pass answer *every* capacity: the
+    histogram's suffix sums are the whole miss curve, so a 64-point sweep
+    costs the same as a single fixed-capacity fallback analysis.
     """
-    trace = trace_arrays(scop, line_size=line_size, padded=True)
-    distances = stack_distances(trace.line_indices())
-    compulsory = int((distances < 0).sum())
-    capacity_misses = [int((distances > capacity).sum()) for capacity in capacities]
-    return len(trace), compulsory, capacity_misses
+    return distance_histogram(trace_arrays(scop, line_size=line_size, padded=True).line_indices())

@@ -369,7 +369,9 @@ class TestSchemaVersion:
 
     def test_model_result_payload_is_versioned(self):
         payload = self._result().to_dict()
-        assert payload["schema_version"] == 1
+        # v2 added the miss_curve section.
+        assert payload["schema_version"] == 2
+        assert payload["miss_curve"] is not None
         assert ModelResult.from_dict(payload).to_dict() == payload
 
     def test_model_result_tolerates_missing_version(self):

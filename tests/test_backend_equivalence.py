@@ -105,6 +105,25 @@ def test_normalize_strips_only_wall_clock_fields():
     assert not payloads_equal(payload, {**payload, "jobs": [{"misses": [3, 5]}]})
 
 
+def test_normalize_strips_wall_clock_derived_ratios():
+    """Machine-dependent ratios computed *from* wall times (the bench
+    ``speedup``, curve ``sweep_ratio``, ``normalized_wall``) must not fail a
+    cross-run diff of bench/trace payloads; miss counts still must."""
+    fast = {
+        "trace": {"speedup": 44.5, "python_seconds": 0.6, "misses": [10, 2]},
+        "curve": {"sweep_ratio": 1.04, "sweep_misses": [9, 7, 0], "counts_match": True},
+        "normalized_wall": 12.0,
+    }
+    slow = {
+        "trace": {"speedup": 17.2, "python_seconds": 2.4, "misses": [10, 2]},
+        "curve": {"sweep_ratio": 1.71, "sweep_misses": [9, 7, 0], "counts_match": True},
+        "normalized_wall": 31.0,
+    }
+    assert payloads_equal(fast, slow)
+    drifted = {**slow, "curve": {**slow["curve"], "sweep_misses": [9, 8, 0]}}
+    assert not payloads_equal(fast, drifted)
+
+
 def test_diff_payloads_reports_paths():
     differences = diff_payloads({"a": [1, 2]}, {"a": [1, 3], "b": 0})
     assert "$.a[1]: 2 != 3" in differences

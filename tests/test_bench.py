@@ -229,6 +229,88 @@ class TestTraceWorkload:
         assert trace["speedup"] >= 10.0
 
 
+class TestCurveWorkload:
+    def _curve_entry(self, **overrides):
+        entry = {
+            "kernel": "bench-curve-matvec",
+            "accesses": 4096,
+            "points": 64,
+            "single_seconds": 0.9,
+            "sweep_seconds": 1.0,
+            "sweep_ratio": 1.1,
+            "counts_match": True,
+            "used_fallback": False,
+            "sweep_misses": [3000, 2000, 500, 0],
+            "max_ratio": 2.0,
+        }
+        entry.update(overrides)
+        return entry
+
+    def _report(self, curve):
+        return {
+            "suite": "tiny",
+            "wall_seconds": 1.0,
+            "calibration_seconds": 0.1,
+            "jobs": [],
+            "totals": {"work_units": 0},
+            "curve": curve,
+        }
+
+    def test_run_suite_records_curve_workload(self, monkeypatch):
+        monkeypatch.setitem(
+            bench.SUITES,
+            "tiny",
+            dict(TINY_SUITE, curve={"size": 8, "points": 16, "max_ratio": 2.0}),
+        )
+        report = run_suite("tiny", store_path=None)
+        curve = report["curve"]
+        assert curve["kernel"] == "bench-curve-matvec"
+        assert curve["counts_match"] is True and not curve["used_fallback"]
+        assert curve["points"] == 16 and len(curve["sweep_misses"]) == 16
+        assert curve["single_seconds"] > 0 and curve["sweep_seconds"] > 0
+
+    def test_clean_curve_workload_passes(self):
+        report = self._report(self._curve_entry())
+        assert compare_reports(report, self._report(self._curve_entry()), check_wall=False) == []
+
+    def test_reference_disagreement_is_accuracy_regression(self):
+        current = self._report(self._curve_entry(counts_match=False))
+        regressions = compare_reports(current, self._report(self._curve_entry()), check_wall=False)
+        assert any("disagree with the exact trace reference" in r for r in regressions)
+
+    def test_sweep_count_drift_is_accuracy_regression(self):
+        current = self._report(self._curve_entry(sweep_misses=[3000, 2001, 500, 0]))
+        regressions = compare_reports(current, self._report(self._curve_entry()), check_wall=False)
+        assert any("sweep counts changed" in r for r in regressions)
+
+    def test_fallback_sweep_is_a_regression(self):
+        current = self._report(self._curve_entry(used_fallback=True))
+        regressions = compare_reports(current, self._report(self._curve_entry()), check_wall=False)
+        assert any("fell back" in r for r in regressions)
+
+    def test_ratio_over_ceiling_is_performance_regression(self):
+        current = self._report(self._curve_entry(sweep_ratio=2.5))
+        regressions = compare_reports(current, self._report(self._curve_entry()))
+        assert any("curve sweep costs" in r for r in regressions)
+        # The ratio is a wall-clock metric: --no-wall disables the gate.
+        assert compare_reports(current, self._report(self._curve_entry()), check_wall=False) == []
+
+    def test_missing_curve_workload_is_flagged(self):
+        current = self._report(None)
+        regressions = compare_reports(current, self._report(self._curve_entry()), check_wall=False)
+        assert any("curve workload missing" in r for r in regressions)
+
+    def test_committed_smoke_baseline_records_the_sweep_claim(self):
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        report = load_report(repo_root / "benchmarks" / "baselines" / "BENCH_smoke.json")
+        curve = report["curve"]
+        assert curve["counts_match"] is True and not curve["used_fallback"]
+        assert curve["max_ratio"] <= 2.0
+        assert curve["sweep_ratio"] <= curve["max_ratio"]
+
+
 class TestBenchCli:
     def test_bench_writes_report(self, tmp_path, capsys):
         output = tmp_path / "BENCH_tiny.json"

@@ -144,6 +144,35 @@ class TestAnalysisStore:
         assert store.stats.evictions > 0
         assert store.entry_count() < 100
 
+    def test_eviction_order_is_stable_for_same_tick_writes(self, tmp_path):
+        """Entries published in the same mtime tick (routine under the mp
+        pool) must evict in a deterministic order: ``st_mtime_ns`` first,
+        then the path tiebreak — never filesystem enumeration order."""
+        import os
+
+        store = AnalysisStore(tmp_path, max_bytes=10_000)
+        for index in range(8):
+            store.put_cardinality(f"{index:064d}", index)
+        # Force every entry onto the identical nanosecond stamp, so only the
+        # path tiebreak can order them deterministically.
+        for path in store._entries():
+            os.utime(path, ns=(1_000_000_000, 1_000_000_000))
+        survivors = []
+        for trial in range(2):
+            for path in store._entries():
+                os.utime(path, ns=(1_000_000_000, 1_000_000_000))
+            store.max_bytes = store.size_bytes() - 1  # evict exactly the stalest
+            store._evict_lru()
+            survivors.append(sorted(p.name for p in store._entries()))
+            if trial == 0:
+                # Repopulate the evicted entry for the second trial.
+                store.max_bytes = 10_000
+                for index in range(8):
+                    store.put_cardinality(f"{index:064d}", index)
+        assert survivors[0] == survivors[1]
+        # The path tiebreak means the lexicographically smallest digest went.
+        assert f"{0:064d}.json" not in survivors[0]
+
     def test_invalid_size_cap_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             AnalysisStore(tmp_path, max_bytes=0)
