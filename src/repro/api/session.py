@@ -100,6 +100,7 @@ class Session:
         )
         self._budget: Optional[int] = None
         self._workers: int = 1
+        self._piece_workers: Optional[int] = None
         self._store_path: Optional[str] = None
         self._backend: str = "auto"
         self._capacities: Tuple[int, ...] = ()
@@ -191,6 +192,28 @@ class Session:
         self._workers = count
         return self
 
+    def piece_workers(self, count: Union[int, str, None]) -> "Session":
+        """Intra-analysis parallelism for single analyses (:meth:`analyze`).
+
+        Splits the independent per-access capacity counts of *one* analysis
+        across ``count`` worker processes (``"auto"`` picks the machine
+        default, ``None`` restores the sequential path).  Results — including
+        the deterministic work accounting — are byte-identical for every
+        worker count; see :mod:`repro.core.parallel`.  Batch runs keep using
+        :meth:`workers` (one process per job) and ignore this knob.
+        """
+        if count is None:
+            self._piece_workers = None
+            return self
+        if count == "auto":
+            count = default_worker_count()
+        if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+            raise SessionConfigError(
+                f"piece worker count must be >= 1, 'auto', or None, got {count!r}"
+            )
+        self._piece_workers = count
+        return self
+
     def store(self, path=_USE_DEFAULT_STORE) -> "Session":
         """Enable the persistent analysis store.
 
@@ -239,6 +262,7 @@ class Session:
         if options.store_path:
             self._store_path = options.store_path
         self._backend = options.backend
+        self._piece_workers = options.piece_workers
         self._capacities = tuple(options.curve_capacities or ())
         return self
 
@@ -269,6 +293,7 @@ class Session:
             symbolic_work_budget=self._budget,
             store_path=self._store_path,
             backend=self._backend,
+            piece_workers=self._piece_workers,
             curve_capacities=self._capacities or None,
         )
 

@@ -212,6 +212,8 @@ def _session_from_args(args, machine: MachineModel) -> Session:
         session.options(fallback=False)
     if getattr(args, "backend", None):
         session.backend(args.backend)
+    if getattr(args, "workers", None):
+        session.piece_workers(args.workers)
     path = _store_path(args)
     if path:
         session.store(path)
@@ -339,6 +341,18 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     _add_machine_arguments(parser)
 
 
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="split the per-access capacity counts of this analysis across N "
+        "worker processes; results are byte-identical for every N (default: "
+        "sequential)",
+    )
+
+
 def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store-path",
@@ -355,7 +369,14 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(prog="repro-haystack", description=__doc__)
+    parser = argparse.ArgumentParser(
+        prog="repro-haystack",
+        description=__doc__,
+        epilog="Environment variables (REPRO_BACKEND, REPRO_STORE_PATH, "
+        "REPRO_STORE_MAX_BYTES, REPRO_BENCH_JOBS, REPRO_EXAMPLE_FAST) are "
+        "documented in the README's 'Environment variables' table; see also "
+        "docs/ARCHITECTURE.md and docs/PERFORMANCE.md.",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list the available kernel names")
@@ -371,6 +392,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_cache_arguments(model_parser)
     model_parser.add_argument("--no-fallback", action="store_true", help="fail instead of falling back to the trace")
     _add_budget_argument(model_parser)
+    _add_workers_argument(model_parser)
     _add_store_arguments(model_parser)
     _add_backend_argument(model_parser)
 
@@ -403,6 +425,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-fallback", action="store_true", help="fail instead of falling back to the trace"
     )
     _add_budget_argument(curve_parser)
+    _add_workers_argument(curve_parser)
     _add_store_arguments(curve_parser)
     _add_backend_argument(curve_parser)
 

@@ -16,8 +16,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..isl.constraints import ConstraintSystem, enumerate_points, ge
-from ..isl.counting import CountingError, Piece, cardinality, count_points
+from ..isl.counting import CountingError, Piece, cardinality, count_points, piecewise_values
 from ..isl.qpoly import Div, QPoly
+from ..isl.veceval import resolve_backend
 from .distance import DistancePiece
 from .elimination import equalize, rasterize
 from .prevmap import ModelFallbackRequired
@@ -77,10 +78,29 @@ class CapacityCountStats:
 class CapacityCounter:
     """Counts cache misses of distance pieces against a cache capacity.
 
+    Results are **exact**: every public method returns the precise number of
+    iteration-domain points whose stack distance exceeds the capacity, or
+    raises :class:`~repro.core.prevmap.ModelFallbackRequired` when the
+    symbolic machinery cannot produce it — the counter never approximates.
+
     ``cardinality_cache`` (see :class:`repro.engine.cache.CardinalityCache`)
     memoizes the symbolic counts; sharing one cache across the hierarchy
     levels of an access means e.g. a constant-distance piece whose domain is
-    counted for L1 is served from the cache for L2 and L3.
+    counted for L1 is served from the cache for L2 and L3.  The counter also
+    memoizes per-piece rewrites, partial-enumeration expansions and
+    parametric chambers internally (keyed by piece identity), so asking for
+    several capacities or grids reuses the capacity-independent work.
+
+    ``budget`` (a :class:`~repro.core.budget.WorkBudget`) is charged one unit
+    per piece visited by :meth:`count_misses`/:meth:`count_curve`; the
+    symbolic primitives underneath (feasibility checks, counting recursion)
+    charge the process-global active budget themselves.  Charges depend only
+    on the pieces and options — never on cache warmth or the ``backend``.
+
+    ``backend`` (``"auto"|"numpy"|"python"``, see
+    :func:`repro.isl.veceval.resolve_backend`) selects how parametric
+    chamber counts are evaluated over capacity grids; both backends produce
+    byte-identical results, NumPy just does it in bulk array ops.
     """
 
     #: Partial-enumeration expansions above this many points are not memoized
@@ -94,6 +114,7 @@ class CapacityCounter:
         *,
         cardinality_cache=None,
         budget=None,
+        backend: str = "auto",
     ) -> None:
         self.loop_vars = list(loop_vars)
         self.options = options or CounterOptions()
@@ -101,6 +122,8 @@ class CapacityCounter:
         self.cardinality_cache = cardinality_cache
         #: Optional :class:`repro.core.budget.WorkBudget`, charged per piece.
         self.budget = budget
+        #: Resolved evaluation backend for parametric chamber grids.
+        self.backend = resolve_backend(backend)
         # The same distance pieces are counted once per hierarchy level, but
         # the floor-elimination rewrites and the partial-enumeration point
         # expansion do not depend on the capacity — memoize them per piece
@@ -263,7 +286,7 @@ class CapacityCounter:
         """One parametric count covers the grid; per-capacity on failure."""
         chambers = self._parametric_chambers(piece, memoize=memoize)
         if chambers is not None:
-            values = _evaluate_chambers(chambers, grid)
+            values = piecewise_values(chambers, {CAPACITY_PARAM: grid}, backend=self.backend)
             # Exactness guard: the true per-piece curve is non-negative and
             # non-increasing, so any parametric artefact (however unlikely)
             # degrades to the exact per-capacity path instead of corrupting
@@ -429,42 +452,6 @@ class CapacityCounter:
             best = max(sorted(counts), key=lambda name: counts[name])
             selected.append(best)
         return selected
-
-
-def _evaluate_chambers(chambers: Sequence[Piece], grid: Sequence[int]) -> Optional[List[int]]:
-    """Evaluate parametric miss counts at every grid capacity.
-
-    The chambers are disjoint by construction, so the count at capacity ``c``
-    is the polynomial of whichever chamber contains ``{cap$: c}`` (zero when
-    none does).  Returns ``None`` when a polynomial evaluates to a
-    non-integer or mentions a variable beyond the capacity (defense in depth
-    behind the check in ``_parametric_chambers``) — the caller then falls
-    back to per-capacity counting.
-    """
-    values: List[int] = []
-    for capacity_lines in grid:
-        point = {CAPACITY_PARAM: capacity_lines}
-        total = 0
-        for domain, polynomial in chambers:
-            try:
-                if not _chamber_contains(domain, point):
-                    continue
-                total += polynomial.evaluate_int(point)
-            except (KeyError, ValueError):
-                return None
-        values.append(total)
-    return values
-
-
-def _chamber_contains(domain: ConstraintSystem, point: Dict[str, int]) -> bool:
-    for constraint in domain.constraints:
-        value = constraint.expr.evaluate(point)
-        if constraint.kind == "eq":
-            if value != 0:
-                return False
-        elif value < 0:
-            return False
-    return True
 
 
 def _is_monotone_curve(values: Sequence[int]) -> bool:

@@ -18,7 +18,7 @@ from .constraints import (
     le,
     lt,
 )
-from .counting import CountingError, cardinality, count_points, piecewise_total
+from .counting import CountingError, cardinality, count_points, piecewise_total, piecewise_values
 
 __all__ = [
     "Constraint",
@@ -39,5 +39,6 @@ __all__ = [
     "le",
     "lt",
     "piecewise_total",
+    "piecewise_values",
     "variable",
 ]

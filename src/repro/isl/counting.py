@@ -40,6 +40,7 @@ __all__ = [
     "cardinality",
     "count_points",
     "piecewise_total",
+    "piecewise_values",
 ]
 
 
@@ -212,6 +213,29 @@ def piecewise_total(pieces: Sequence[Piece]) -> Fraction:
             raise CountingError(f"piece polynomial is not constant: {poly}")
         total += poly.constant_value()
     return total
+
+
+def piecewise_values(
+    pieces: Sequence[Piece],
+    values,
+    *,
+    backend: str = "auto",
+) -> Optional[List[int]]:
+    """Evaluate a parametric count at a batch of parameter points.
+
+    ``pieces`` is the result of :func:`count_points`; ``values`` maps each
+    parameter name to an equal-length sequence of integers.  Returns the
+    per-point totals (chambers tested in exact rational arithmetic, counts
+    summed where they contain the point), or ``None`` when any containing
+    chamber fails to evaluate — the caller's cue to fall back to exact
+    per-point counting.  The NumPy backend (``backend="auto"|"numpy"``)
+    evaluates each polynomial over the whole grid in a few scaled-int64
+    array ops and is byte-identical to the pure-Python reference; see
+    :func:`repro.isl.veceval.evaluate_pieces`.  Charges no work units.
+    """
+    from .veceval import evaluate_pieces
+
+    return evaluate_pieces(pieces, values, backend=backend)
 
 
 def cardinality(

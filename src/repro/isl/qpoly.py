@@ -90,8 +90,27 @@ def _monomial_mul(a: Monomial, b: Monomial) -> Monomial:
 class QPoly:
     """A quasi-polynomial: mapping from monomials to rational coefficients.
 
-    The empty monomial ``()`` holds the constant term.  Instances are
-    immutable by convention; all operations return new objects.
+    The empty monomial ``()`` holds the constant term; a monomial is a
+    sorted tuple of ``(symbol, exponent)`` pairs where a symbol is either a
+    variable name or a :class:`Div` (a nested floor-division term, which is
+    what makes the polynomial "quasi").  Instances are immutable by
+    convention; all operations return new objects.
+
+    **Exactness contract.**  Coefficients are ``fractions.Fraction``s and
+    every operation — arithmetic, substitution, evaluation — is exact
+    rational arithmetic; nothing in this class ever rounds.
+    :meth:`evaluate` returns the exact ``Fraction`` value at a point and
+    :meth:`evaluate_int` additionally asserts integrality (counting results
+    are cardinalities, so a non-integer value signals a logic error, not a
+    rounding problem).  The NumPy bulk evaluator
+    (:mod:`repro.isl.veceval`) preserves this contract by scaling to
+    integers and checking divisions, deferring to the scalar path whenever
+    exactness in int64 is not provable.
+
+    **Cost contract.**  Construction and evaluation charge **no** symbolic
+    work units; only the counting/solving machinery built on top
+    (:mod:`repro.isl.counting`, :mod:`repro.isl.lexopt`) charges the
+    active :class:`~repro.isl.work.WorkBudget`.
     """
 
     __slots__ = ("terms",)

@@ -38,16 +38,19 @@ __all__ = [
 ]
 
 #: Schema version of the ``BENCH_*.json`` payload (2 = added the ``trace``
-#: simulator workload; 3 = added the ``curve`` sweep workload; readers treat
-#: missing sections as absent).
-BENCH_SCHEMA = 3
+#: simulator workload; 3 = added the ``curve`` sweep workload; 4 = added the
+#: ``symbolic`` chamber-evaluation workload; readers treat missing sections
+#: as absent).
+BENCH_SCHEMA = 4
 
 #: Named workload suites: kernels x datasets analysed under a deterministic
 #: work budget, plus a ``trace`` simulator workload that times the concrete
 #: pipeline under both backends and records the numpy-vs-python speedup
 #: (the fig10 simulator-accuracy path), plus a ``curve`` workload that
 #: measures the cost of a many-point capacity sweep via
-#: :class:`~repro.core.MissCurve` against a single fixed-capacity analysis.
+#: :class:`~repro.core.MissCurve` against a single fixed-capacity analysis,
+#: plus a ``symbolic`` workload that times the bulk chamber/grid evaluator
+#: (:mod:`repro.isl.veceval`) against the pure-Python piecewise walk.
 #: ``smoke`` finishes in seconds (CI gate); ``full`` covers the whole
 #: PolyBench registry for offline trend tracking.
 SUITES: Dict[str, Dict] = {
@@ -65,6 +68,11 @@ SUITES: Dict[str, Dict] = {
         # miss-curve acceptance bar (shared counting pass, sweep points
         # nearly free).
         "curve": {"size": 32, "points": 64, "max_ratio": 2.0},
+        # Dense capacity grid through the parametric chambers of the matvec
+        # distance pieces: the pure-Python piecewise walk is the reference,
+        # the veceval bulk evaluator must beat it by the floor while
+        # producing byte-identical totals.
+        "symbolic": {"size": 32, "points": 1024, "rounds": 3, "min_speedup": 3.0},
     },
     "full": {
         "kernels": "all",
@@ -73,6 +81,7 @@ SUITES: Dict[str, Dict] = {
         "budget": 10_000,
         "trace": {"size": 20, "rounds": 3, "min_speedup": 10.0},
         "curve": {"size": 48, "points": 64, "max_ratio": 2.0},
+        "symbolic": {"size": 48, "points": 2048, "rounds": 3, "min_speedup": 3.0},
     },
 }
 
@@ -280,6 +289,82 @@ def _run_curve_workload(config: Dict) -> Dict:
     }
 
 
+def _run_symbolic_workload(config: Dict) -> Dict:
+    """Time bulk chamber/grid evaluation under both backends.
+
+    This is the gate on the vectorized symbolic core: the parametric
+    capacity chambers of every distance piece of the curve-workload matvec
+    are extracted once (symbolic work, untimed — identical for both
+    backends), then evaluated over a dense capacity grid of ``points``
+    capacities — once with the pure-Python piecewise walk and ``rounds``
+    times with the :mod:`repro.isl.veceval` bulk evaluator (best run
+    counts, the reference is the slow side and is measured once).  The two
+    backends must produce byte-identical per-capacity totals; the report
+    records a digest of the totals so :func:`compare_reports` can gate on
+    accuracy drift as well as on the speedup floor.
+    """
+    import hashlib
+
+    from ..core.capacity import CAPACITY_PARAM, CapacityCounter
+    from ..core.distance import StackDistanceAnalysis
+    from ..isl.counting import piecewise_values
+    from ..isl.veceval import numpy_available
+
+    size = int(config.get("size", 32))
+    points = int(config.get("points", 1024))
+    rounds = max(1, int(config.get("rounds", 3)))
+    scop = _curve_workload_scop(size)
+    grid = list(range(1, points + 1))
+    chamber_sets = []
+    for access_distances in StackDistanceAnalysis(scop, line_size=64).analyze():
+        counter = CapacityCounter(access_distances.access.statement.loop_vars)
+        for piece in access_distances.pieces:
+            if not piece.polynomial.is_affine():
+                continue
+            chambers = counter._parametric_chambers(piece)
+            if chambers:
+                chamber_sets.append(chambers)
+
+    def evaluate(backend: str) -> List[int]:
+        totals = [0] * len(grid)
+        for chambers in chamber_sets:
+            values = piecewise_values(chambers, {CAPACITY_PARAM: grid}, backend=backend)
+            if values is None:
+                raise RuntimeError("symbolic workload: chamber evaluation failed")
+            for index, value in enumerate(values):
+                totals[index] += value
+        return totals
+
+    start = time.perf_counter()
+    python_totals = evaluate("python")
+    python_seconds = time.perf_counter() - start
+    entry: Dict = {
+        "kernel": scop.name,
+        "chamber_sets": len(chamber_sets),
+        "points": len(grid),
+        "python_seconds": python_seconds,
+        "totals_sha256": hashlib.sha256(json.dumps(python_totals).encode("ascii")).hexdigest(),
+        "numpy_available": numpy_available(),
+        "numpy_seconds": None,
+        "speedup": None,
+        "results_match": True,
+        "min_speedup": config.get("min_speedup", 3.0),
+    }
+    if not numpy_available():
+        return entry
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        numpy_totals = evaluate("numpy")
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+        if numpy_totals != python_totals:
+            entry["results_match"] = False
+    entry["numpy_seconds"] = best
+    entry["speedup"] = python_seconds / best if best else None
+    return entry
+
+
 def run_suite(
     suite: str,
     *,
@@ -306,6 +391,7 @@ def run_suite(
     calibration = _calibrate()
     trace_entry = _run_trace_workload(config["trace"]) if config.get("trace") else None
     curve_entry = _run_curve_workload(config["curve"]) if config.get("curve") else None
+    symbolic_entry = _run_symbolic_workload(config["symbolic"]) if config.get("symbolic") else None
     batch = request.run()
 
     job_entries = []
@@ -364,6 +450,7 @@ def run_suite(
         "store": dict(batch.store_stats) if batch.store_stats is not None else None,
         "trace": trace_entry,
         "curve": curve_entry,
+        "symbolic": symbolic_entry,
     }
     return report
 
@@ -419,7 +506,14 @@ def compare_reports(
       disagree with the exact trace reference or drift from the baseline
       (accuracy), or when the many-point sweep costs more than ``max_ratio``
       times a single fixed-capacity analysis (wall clock; skipped with
-      ``check_wall=False``).
+      ``check_wall=False``);
+    * the ``symbolic`` chamber-evaluation workload regresses when the two
+      evaluation backends disagree on the per-capacity totals (accuracy),
+      when the totals digest drifts from the baseline, or when the
+      numpy-vs-python evaluation speedup drops below the suite floor
+      (``min_speedup``) or collapses to under a quarter of the baseline
+      ratio.  Like ``trace``, the speedup gate is skipped when NumPy is not
+      installed.
     """
     regressions: List[str] = []
     if current.get("suite") != baseline.get("suite"):
@@ -466,6 +560,7 @@ def compare_reports(
 
     regressions.extend(_compare_trace_workload(current, baseline, tolerance=tolerance))
     regressions.extend(_compare_curve_workload(current, baseline, check_wall=check_wall))
+    regressions.extend(_compare_symbolic_workload(current, baseline))
 
     if check_wall:
         baseline_norm = _normalized_wall(baseline)
@@ -557,6 +652,50 @@ def _compare_curve_workload(current: Dict, baseline: Dict, *, check_wall: bool) 
     return regressions
 
 
+def _compare_symbolic_workload(current: Dict, baseline: Dict) -> List[str]:
+    """Symbolic chamber-evaluation regressions (see :func:`compare_reports`)."""
+    regressions: List[str] = []
+    now = current.get("symbolic")
+    base = baseline.get("symbolic")
+    if now is None:
+        if base is not None:
+            regressions.append("accuracy: symbolic workload missing from current report")
+        return regressions
+    if now.get("results_match") is False:
+        regressions.append(
+            "accuracy: symbolic workload evaluation backends disagree on the "
+            "per-capacity totals"
+        )
+    if (
+        base
+        and base.get("totals_sha256")
+        and now.get("totals_sha256") != base.get("totals_sha256")
+    ):
+        regressions.append(
+            "accuracy: symbolic workload per-capacity totals changed against the baseline"
+        )
+    speedup = now.get("speedup")
+    if speedup is None:
+        # No NumPy in this environment: the bulk evaluator is an optional
+        # extra, so the speedup gate cannot apply.
+        return regressions
+    floor = now.get("min_speedup") or (base or {}).get("min_speedup") or 0.0
+    if floor and speedup < floor:
+        regressions.append(
+            f"performance: symbolic chamber evaluation speedup {speedup:.1f}x is "
+            f"below the suite floor of {floor:.0f}x "
+            f"(python {now.get('python_seconds', 0):.3f}s, "
+            f"numpy {now.get('numpy_seconds', 0):.4f}s)"
+        )
+    baseline_speedup = (base or {}).get("speedup")
+    if baseline_speedup and speedup < baseline_speedup * 0.25:
+        regressions.append(
+            f"performance: symbolic chamber evaluation speedup collapsed "
+            f"{baseline_speedup:.1f}x -> {speedup:.1f}x (under a quarter of baseline)"
+        )
+    return regressions
+
+
 def format_bench_summary(report: Dict, regressions: Optional[Sequence[str]] = None) -> str:
     """Human-readable one-screen summary of a bench report."""
     totals = report.get("totals", {})
@@ -595,6 +734,24 @@ def format_bench_summary(report: Dict, regressions: Optional[Sequence[str]] = No
             f"{curve.get('max_ratio', 0):.1f}x), counts "
             f"{'match' if curve.get('counts_match') else 'DIFFER'}"
         )
+    symbolic = report.get("symbolic")
+    if symbolic:
+        if symbolic.get("speedup") is not None:
+            lines.append(
+                f"symbolic workload: {symbolic.get('chamber_sets', 0)} chamber sets x "
+                f"{symbolic.get('points', 0)} capacities, "
+                f"python {symbolic.get('python_seconds', 0.0):.3f}s, "
+                f"numpy {symbolic.get('numpy_seconds', 0.0):.4f}s "
+                f"({symbolic['speedup']:.1f}x speedup, floor {symbolic.get('min_speedup', 0):.0f}x), "
+                f"totals {'match' if symbolic.get('results_match') else 'DIFFER'}"
+            )
+        else:
+            lines.append(
+                f"symbolic workload: {symbolic.get('chamber_sets', 0)} chamber sets x "
+                f"{symbolic.get('points', 0)} capacities, "
+                f"python {symbolic.get('python_seconds', 0.0):.3f}s "
+                f"(NumPy not installed; no speedup measured)"
+            )
     if regressions is not None:
         if regressions:
             lines.append(f"{len(regressions)} regression(s) against baseline:")

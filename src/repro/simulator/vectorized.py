@@ -37,23 +37,28 @@ NumPy is not installed.
 
 from __future__ import annotations
 
-import math
-import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..isl.qpoly import Div, QPoly
+from ..isl.veceval import (
+    BACKENDS,
+    BACKEND_ENV,
+    BackendUnavailableError,
+    _np_full_like_any,
+    _require_numpy,
+    default_backend,
+    eval_qpoly_arrays as _eval_qpoly,
+    numpy_available,
+    resolve_backend,
+    validate_backend_env,
+)
 from ..scop.scop import Scop, Statement
 from .lru import CacheStatistics
 from .trace import ArrayLayout
 
-try:  # pragma: no cover - exercised through resolve_backend()
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy-less environments
-    _np = None
-
 __all__ = [
     "BACKENDS",
+    "BACKEND_ENV",
     "BackendUnavailableError",
     "TraceArrays",
     "default_backend",
@@ -69,134 +74,6 @@ __all__ = [
     "trace_model_curve",
     "validate_backend_env",
 ]
-
-#: Accepted values of the ``backend`` option.
-BACKENDS = ("auto", "numpy", "python")
-
-#: Environment override consulted by ``backend="auto"``.
-BACKEND_ENV = "REPRO_BACKEND"
-
-
-class BackendUnavailableError(RuntimeError):
-    """An explicitly requested backend cannot run in this environment."""
-
-
-def numpy_available() -> bool:
-    return _np is not None
-
-
-def default_backend() -> str:
-    """Backend implied by ``"auto"``: ``$REPRO_BACKEND`` or best available."""
-    env = os.environ.get(BACKEND_ENV, "").strip().lower()
-    if env and env != "auto":
-        return env
-    return "numpy" if numpy_available() else "python"
-
-
-def validate_backend_env() -> None:
-    """Fail fast on a bad ``$REPRO_BACKEND`` value.
-
-    Entry points (the CLI and :class:`repro.api.Session`) call this eagerly
-    so a typo in the environment surfaces immediately with the offending
-    value named, instead of leaking through ``backend="auto"`` into a deep
-    :class:`ValueError` the first time a trace runs.
-    """
-    env = os.environ.get(BACKEND_ENV, "").strip().lower()
-    if env and env not in BACKENDS:
-        raise ValueError(
-            f"unknown backend {env!r} in ${BACKEND_ENV} "
-            f"(expected {'|'.join(BACKENDS)})"
-        )
-
-
-def resolve_backend(backend: str = "auto") -> str:
-    """Resolve a backend request to a concrete implementation name.
-
-    ``"auto"`` picks NumPy when it is importable (or whatever
-    ``$REPRO_BACKEND`` names) and silently falls back to the pure-Python
-    reference otherwise; an explicit ``"numpy"`` without NumPy installed is
-    an error so CI equivalence jobs cannot silently test python against
-    python.
-    """
-    name = (backend or "auto").strip().lower()
-    from_env = False
-    if name == "auto":
-        env = os.environ.get(BACKEND_ENV, "").strip().lower()
-        from_env = bool(env) and env != "auto"
-        name = default_backend()
-    if name not in ("numpy", "python"):
-        source = f"{name!r} in ${BACKEND_ENV}" if from_env else repr(backend)
-        raise ValueError(f"unknown backend {source} (expected {'|'.join(BACKENDS)})")
-    if name == "numpy" and not numpy_available():
-        raise BackendUnavailableError(
-            "backend 'numpy' requested but NumPy is not installed; "
-            "install the optional extra (pip install repro-haystack[numpy]) "
-            "or use backend='python'"
-        )
-    return name
-
-
-def _require_numpy():
-    if _np is None:
-        raise BackendUnavailableError("NumPy is required for the vectorized simulator backend")
-    return _np
-
-
-# ----------------------------------------------------------------------
-# Exact integer evaluation of quasi-polynomials on index arrays
-# ----------------------------------------------------------------------
-def _eval_qpoly(poly: QPoly, values: Dict[str, "object"], np=None):
-    """Evaluate ``poly`` elementwise on integer arrays, exactly.
-
-    Coefficients are Fractions; the whole polynomial is scaled by the LCM of
-    the coefficient denominators so all arithmetic happens in int64, then
-    divided back (the division must be exact — the pipeline only evaluates
-    integer-valued expressions).  Div symbols evaluate their argument the
-    same way and use ``floor(A / (L * d)) == floor((A / L) / d)``.
-    """
-    np = np or _require_numpy()
-    scale = 1
-    for coeff in poly.terms.values():
-        scale = scale * coeff.denominator // _gcd(scale, coeff.denominator)
-    total = None
-    for monomial, coeff in poly.terms.items():
-        term = _np_full_like_any(values, coeff.numerator * (scale // coeff.denominator), np)
-        for sym, exp in monomial:
-            base = _eval_symbol(sym, values, np)
-            for _ in range(exp):
-                term = term * base
-        total = term if total is None else total + term
-    if total is None:
-        return _np_full_like_any(values, 0, np)
-    if scale != 1:
-        quotient, remainder = np.divmod(total, scale)
-        if remainder.any():
-            raise ValueError(f"expected integral values evaluating {poly}")
-        return quotient
-    return total
-
-
-def _eval_symbol(sym, values: Dict[str, "object"], np):
-    if isinstance(sym, Div):
-        argument = sym.argument()
-        scale = 1
-        for coeff in argument.terms.values():
-            scale = scale * coeff.denominator // _gcd(scale, coeff.denominator)
-        scaled = _eval_qpoly(argument * scale, values, np)
-        return np.floor_divide(scaled, scale * sym.denominator)
-    try:
-        return values[sym]
-    except KeyError:
-        raise KeyError(f"no value for variable {sym!r}") from None
-
-
-def _np_full_like_any(values: Dict[str, "object"], fill: int, np):
-    for array in values.values():
-        return np.full_like(array, fill)
-    return np.asarray([fill], dtype=np.int64)
-
-
-_gcd = math.gcd
 
 
 # ----------------------------------------------------------------------

@@ -311,6 +311,100 @@ class TestCurveWorkload:
         assert curve["sweep_ratio"] <= curve["max_ratio"]
 
 
+class TestSymbolicWorkload:
+    def _symbolic_entry(self, **overrides):
+        entry = {
+            "kernel": "bench-curve-matvec",
+            "chamber_sets": 47,
+            "points": 1024,
+            "python_seconds": 0.7,
+            "totals_sha256": "abc123",
+            "numpy_available": True,
+            "numpy_seconds": 0.02,
+            "speedup": 35.0,
+            "results_match": True,
+            "min_speedup": 3.0,
+        }
+        entry.update(overrides)
+        return entry
+
+    def _report(self, symbolic):
+        return {
+            "suite": "tiny",
+            "wall_seconds": 1.0,
+            "calibration_seconds": 0.1,
+            "jobs": [],
+            "totals": {"work_units": 0},
+            "symbolic": symbolic,
+        }
+
+    def test_run_suite_records_symbolic_workload(self, monkeypatch):
+        monkeypatch.setitem(
+            bench.SUITES,
+            "tiny",
+            dict(TINY_SUITE, symbolic={"size": 8, "points": 64, "rounds": 1, "min_speedup": 3.0}),
+        )
+        report = run_suite("tiny", store_path=None)
+        symbolic = report["symbolic"]
+        assert symbolic["kernel"] == "bench-curve-matvec"
+        assert symbolic["chamber_sets"] > 0 and symbolic["points"] == 64
+        assert symbolic["python_seconds"] > 0
+        assert symbolic["results_match"] is True
+        assert symbolic["totals_sha256"]
+        if symbolic["numpy_available"]:
+            assert symbolic["numpy_seconds"] > 0 and symbolic["speedup"] > 0
+        else:
+            assert symbolic["speedup"] is None
+
+    def test_clean_symbolic_workload_passes(self):
+        report = self._report(self._symbolic_entry())
+        assert compare_reports(report, self._report(self._symbolic_entry()), check_wall=False) == []
+
+    def test_backend_disagreement_is_accuracy_regression(self):
+        current = self._report(self._symbolic_entry(results_match=False))
+        regressions = compare_reports(current, self._report(self._symbolic_entry()), check_wall=False)
+        assert any("evaluation backends disagree" in r for r in regressions)
+
+    def test_totals_drift_is_accuracy_regression(self):
+        current = self._report(self._symbolic_entry(totals_sha256="def456"))
+        regressions = compare_reports(current, self._report(self._symbolic_entry()), check_wall=False)
+        assert any("per-capacity totals changed" in r for r in regressions)
+
+    def test_speedup_below_floor_is_performance_regression(self):
+        current = self._report(self._symbolic_entry(speedup=2.0))
+        regressions = compare_reports(current, self._report(self._symbolic_entry()), check_wall=False)
+        assert any("below the suite floor" in r for r in regressions)
+
+    def test_speedup_collapse_against_baseline_is_regression(self):
+        current = self._report(self._symbolic_entry(speedup=5.0))
+        baseline = self._report(self._symbolic_entry(speedup=40.0))
+        regressions = compare_reports(current, baseline, check_wall=False)
+        assert any("collapsed" in r for r in regressions)
+
+    def test_no_numpy_skips_the_speedup_gate(self):
+        current = self._report(
+            self._symbolic_entry(numpy_available=False, numpy_seconds=None, speedup=None)
+        )
+        assert compare_reports(current, self._report(self._symbolic_entry()), check_wall=False) == []
+
+    def test_missing_symbolic_workload_is_flagged(self):
+        current = self._report(None)
+        current.pop("symbolic")
+        regressions = compare_reports(current, self._report(self._symbolic_entry()), check_wall=False)
+        assert any("symbolic workload missing" in r for r in regressions)
+
+    def test_committed_smoke_baseline_records_the_speedup_claim(self):
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        report = load_report(repo_root / "benchmarks" / "baselines" / "BENCH_smoke.json")
+        symbolic = report["symbolic"]
+        assert symbolic["results_match"] is True
+        assert symbolic["min_speedup"] >= 3.0
+        assert symbolic["speedup"] >= 3.0
+        assert symbolic["totals_sha256"]
+
+
 class TestBenchCli:
     def test_bench_writes_report(self, tmp_path, capsys):
         output = tmp_path / "BENCH_tiny.json"

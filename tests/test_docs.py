@@ -1,0 +1,65 @@
+"""Documentation consistency: links resolve, code pointers match the source.
+
+``docs/ARCHITECTURE.md`` embeds ``file.py:Symbol`` pointers into the code it
+describes; ``tools/check_docs.py`` resolves every one against the tree (and
+every relative markdown link against the filesystem) so the docs hard-fail
+CI instead of drifting.  These tests run the checker exactly as the CI
+``docs`` job does, plus pin its own failure modes.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_docs.py"
+
+sys.path.insert(0, str(CHECKER.parent))
+
+import check_docs  # noqa: E402
+
+
+def test_repository_docs_are_clean():
+    result = subprocess.run(
+        [sys.executable, str(CHECKER)], capture_output=True, text=True, cwd=REPO_ROOT
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "docs OK" in result.stdout
+
+
+def test_checked_files_include_both_docs():
+    assert "docs/ARCHITECTURE.md" in check_docs.CHECKED_FILES
+    assert "docs/PERFORMANCE.md" in check_docs.CHECKED_FILES
+    assert "README.md" in check_docs.CHECKED_FILES
+
+
+def test_broken_link_is_reported(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("See [missing](no/such/file.md) for details.\n")
+    problems = check_docs.check_file(doc, tmp_path)
+    assert problems == ["doc.md: broken link -> no/such/file.md"]
+
+
+def test_unresolved_symbol_is_reported(tmp_path):
+    module = tmp_path / "mod.py"
+    module.write_text("class Real:\n    def method(self):\n        pass\n\nVALUE = 1\n")
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "`mod.py:Real` and `mod.py:Real.method` and `mod.py:VALUE` resolve;\n"
+        "`mod.py:Imagined` does not.\n"
+    )
+    problems = check_docs.check_file(doc, tmp_path)
+    assert problems == ["doc.md: unresolved symbol -> mod.py:Imagined"]
+
+
+def test_missing_pointer_file_is_reported(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("`gone.py:Symbol`\n")
+    problems = check_docs.check_file(doc, tmp_path)
+    assert problems == ["doc.md: pointer to missing file -> gone.py:Symbol"]
+
+
+def test_external_links_and_anchors_are_skipped(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("[a](https://example.com) [b](#section) [c](mailto:x@y.z)\n")
+    assert check_docs.check_file(doc, tmp_path) == []

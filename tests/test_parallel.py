@@ -1,0 +1,124 @@
+"""Determinism of intra-analysis parallelism.
+
+The contract of ``ModelOptions.piece_workers`` /
+``Session().piece_workers(n)`` is that the *content* of a
+:class:`~repro.core.results.ModelResult` — miss counts, fallback status,
+work units, statistics — is byte-identical for any worker count, including
+where the work budget trips.  These tests pin that contract on a real
+symbolic analysis, plus the ordered pool helper and the Session/CLI knobs.
+"""
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.api.session import SessionConfigError
+from repro.cli import main
+from repro.engine.batch import pool_map_ordered
+from repro.reporting.equivalence import diff_payloads, normalize
+from repro.scop import ScopBuilder
+
+#: One L1 of 16 lines: y overflows it, x does not (same shape as the bench
+#: curve workload, scaled down so one analysis takes around a second).
+MACHINE = (16 * 64,)
+SIZE = 12
+
+
+def _matvec(size=SIZE):
+    builder = ScopBuilder("par-matvec", context={"N": size}, element_size=64)
+    A = builder.array("A", (size, size))
+    x = builder.array("x", (size,))
+    y = builder.array("y", (size,))
+    with builder.loop("i", 0, size):
+        with builder.loop("j", 0, size):
+            builder.stmt(
+                reads=[A[builder.v("i"), builder.v("j")], y[builder.v("j")], x[builder.v("i")]],
+                writes=[x[builder.v("i")]],
+            )
+    return builder.build()
+
+
+def _analyze(piece_workers, budget=0):
+    session = Session().machine(MACHINE).no_store().budget(budget)
+    if piece_workers is not None:
+        session.piece_workers(piece_workers)
+    return session.analyze(_matvec())
+
+
+def _payload(result):
+    return json.dumps(normalize(result.to_dict()), sort_keys=True)
+
+
+class TestDeterminism:
+    def test_results_identical_across_worker_counts(self):
+        reference = _analyze(1)
+        for workers in (2, 4):
+            result = _analyze(workers)
+            assert diff_payloads(normalize(reference.to_dict()), normalize(result.to_dict())) == []
+            assert _payload(result) == _payload(reference)
+        assert not reference.used_fallback
+
+    def test_parallel_curve_matches_sequential_analysis(self):
+        sequential = Session().machine(MACHINE).no_store().budget(0).analyze(_matvec())
+        parallel = _analyze(2)
+        assert parallel.misses(0) == sequential.misses(0)
+        assert parallel.level_results[0].compulsory == sequential.level_results[0].compulsory
+
+    def test_budget_trip_identical_across_worker_counts(self):
+        # A budget that exhausts mid-way through the per-access work: the
+        # fallback decision, the charged units (= limit + 1: the charge that
+        # trips), and the final counts must not depend on scheduling.
+        reference = _analyze(1, budget=60)
+        assert reference.used_fallback
+        assert reference.timing.work_units_charged == 61
+        for workers in (2, 4):
+            result = _analyze(workers, budget=60)
+            assert _payload(result) == _payload(reference)
+
+
+class TestPoolMapOrdered:
+    def test_preserves_item_order(self):
+        items = list(range(23))
+        assert pool_map_ordered(_square, items, workers=4) == [n * n for n in items]
+
+    def test_single_worker_runs_inline(self):
+        assert pool_map_ordered(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_empty_items(self):
+        assert pool_map_ordered(_square, [], workers=4) == []
+
+
+def _square(n):
+    return n * n
+
+
+class TestSessionKnob:
+    def test_auto_resolves_to_machine_workers(self):
+        from repro.engine.batch import default_worker_count
+
+        session = Session().piece_workers("auto")
+        assert session.model_options().piece_workers == default_worker_count()
+
+    def test_explicit_count_and_disable(self):
+        assert Session().piece_workers(3).model_options().piece_workers == 3
+        assert Session().piece_workers(None).model_options().piece_workers is None
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 1.5, "three"])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(SessionConfigError):
+            Session().piece_workers(bad)
+
+
+class TestCliWorkers:
+    def test_model_accepts_workers_flag(self, capsys):
+        rc = main(
+            ["model", "jacobi-1d", "--dataset", "mini", "--l1", "32768",
+             "--budget", "200", "--no-store", "--workers", "2"]
+        )
+        assert rc == 0
+        assert "jacobi-1d" in capsys.readouterr().out
+
+    def test_model_rejects_zero_workers(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["model", "jacobi-1d", "--workers", "0"])

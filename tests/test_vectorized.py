@@ -60,9 +60,11 @@ def test_resolve_backend_env_override(monkeypatch):
 
 
 def test_backend_unavailable_error_without_numpy(monkeypatch):
+    # The backend knob lives in repro.isl.veceval; the simulator re-exports it.
+    from repro.isl import veceval
     from repro.simulator import vectorized
 
-    monkeypatch.setattr(vectorized, "_np", None)
+    monkeypatch.setattr(veceval, "_np", None)
     with pytest.raises(BackendUnavailableError):
         vectorized.resolve_backend("numpy")
     assert vectorized.resolve_backend("auto") == "python"

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Hard-fail consistency checks for the markdown documentation.
+
+Two guarantees, enforced in CI (the ``docs`` job) and in the tier-1 suite
+(``tests/test_docs.py``):
+
+* every **relative link** in the checked markdown files points at a file or
+  directory that exists in the repository;
+* every **code pointer** of the form ``path/to/file.py:Symbol`` (in
+  backticks) resolves — the file exists and ``Symbol`` is a top-level
+  class, function, or assignment in it, or a ``Class.method`` /
+  ``Class.attribute`` one level down.
+
+Exit status 0 = clean, 1 = at least one broken link or pointer (each is
+printed on its own line).  Run it directly:
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+
+#: ``path/to/file.py:Symbol`` or ``path/to/file.py:Class.member`` in backticks.
+POINTER = re.compile(r"`([A-Za-z0-9_\-./]+\.py):([A-Za-z_][A-Za-z0-9_.]*)`")
+
+#: Markdown inline link targets: ``[text](target)``; the anchor part is
+#: stripped, pure-anchor and external targets are skipped.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Markdown files checked, relative to the repository root.
+CHECKED_FILES = ("README.md", "docs/ARCHITECTURE.md", "docs/PERFORMANCE.md")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def module_symbols(path: Path) -> Set[str]:
+    """Names a ``file.py:Symbol`` pointer may use for this module.
+
+    Top-level classes, functions and assignment targets by bare name, plus
+    every class's methods and class-body assignments as ``Class.member``.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    symbols: Set[str] = set()
+
+    def assigned_names(node: ast.AST) -> List[str]:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            return [t.id for t in targets if isinstance(t, ast.Name)]
+        return []
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            symbols.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            symbols.add(node.name)
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    symbols.add(f"{node.name}.{member.name}")
+                for name in assigned_names(member):
+                    symbols.add(f"{node.name}.{name}")
+        else:
+            symbols.update(assigned_names(node))
+    return symbols
+
+
+def check_file(doc: Path, root: Path) -> List[str]:
+    """All broken links and pointers of one markdown file."""
+    problems: List[str] = []
+    text = doc.read_text(encoding="utf-8")
+    rel = doc.relative_to(root)
+
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        target_path = target.split("#", 1)[0]
+        if not target_path:
+            continue
+        if not (doc.parent / target_path).exists():
+            problems.append(f"{rel}: broken link -> {target}")
+
+    for match in POINTER.finditer(text):
+        file_part, symbol = match.group(1), match.group(2)
+        source = root / file_part
+        if not source.exists():
+            problems.append(f"{rel}: pointer to missing file -> {file_part}:{symbol}")
+            continue
+        if symbol not in module_symbols(source):
+            problems.append(f"{rel}: unresolved symbol -> {file_part}:{symbol}")
+    return problems
+
+
+def main(argv: List[str] = None) -> int:
+    root = Path(__file__).resolve().parent.parent
+    problems: List[str] = []
+    for name in CHECKED_FILES:
+        doc = root / name
+        if not doc.exists():
+            problems.append(f"{name}: checked documentation file is missing")
+            continue
+        problems.extend(check_file(doc, root))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs OK: {', '.join(CHECKED_FILES)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
