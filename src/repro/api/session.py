@@ -350,6 +350,26 @@ class Session:
         """Open a batch request over pre-built :class:`Scop` programs."""
         return AnalysisRequest(self).scops(*scops)
 
+    def kernel_file(self, path, *, replace: bool = True) -> "AnalysisRequest":
+        """Parse a ``.knl`` kernel file, register it, and open a request on it.
+
+        The file's kernel joins the registry under its own name with its own
+        dataset blocks (source ``file:<basename>``), so every later call —
+        by-name batches, the store, miss curves — sees it like a builtin::
+
+            result = Session().machine("paper-xeon").kernel_file(
+                "examples/kernels/gemm.knl").datasets("mini").run()
+
+        ``replace=True`` (the default) lets re-parsing an edited file win over
+        the previous registration.  Raises
+        :class:`~repro.frontend.KernelParseError` on invalid input and
+        ``OSError`` if the file cannot be read.
+        """
+        from ..frontend import register_kernel_file
+
+        program = register_kernel_file(path, replace=replace)
+        return self.kernels(program.name)
+
     def _engine(self) -> BatchEngine:
         return BatchEngine(self._workers, store_path=self._store_path)
 
@@ -528,10 +548,15 @@ class AnalysisRequest:
             datasets = self._datasets or [entry.datasets[0]]
             # Builtins and entry-point plugins re-resolve by name inside pool
             # workers, but a kernel registered programmatically in *this*
-            # process is invisible to spawn-started workers — ship the built
-            # scop in the spec so multi-worker runs stay platform-independent
+            # process (source "user", or "file:*" from the kernel frontend)
+            # is invisible to spawn-started workers — ship the built scop in
+            # the spec so multi-worker runs stay platform-independent
             # (single-worker runs keep building lazily in the inline path).
-            ship_scop = entry.source == "user" and session.worker_count > 1
+            ship_scop = (
+                entry.source != "builtin"
+                and not entry.source.startswith("plugin")
+                and session.worker_count > 1
+            )
             for dataset in datasets:
                 if dataset not in entry.datasets:
                     raise SessionConfigError(

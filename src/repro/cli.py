@@ -6,6 +6,8 @@ Examples::
     repro-haystack kernels --json
     repro-haystack model gemm --dataset mini --l1 32768 --l2 1048576
     repro-haystack model gemm --dataset mini --machine paper-xeon
+    repro-haystack analyze examples/kernels/gemm.knl --machine paper-xeon
+    repro-haystack analyze my-kernel.knl --curve --sweep 1K:8M
     repro-haystack simulate jacobi-1d --dataset mini --l1 32768
     repro-haystack compare trisolv --dataset mini --l1 4096
     repro-haystack batch --kernels gemm,atax,mvt --jobs 4 --output results.json
@@ -34,6 +36,7 @@ from .core.budget import BudgetExhausted
 from .core.prevmap import ModelFallbackRequired
 from .core.results import ModelResult
 from .engine.store import default_store_path, job_digest
+from .frontend import KernelParseError, parse_kernel_path
 from .reporting import format_batch_summary, format_miss_curve, format_table
 from .reporting.bench import (
     compare_reports,
@@ -241,14 +244,25 @@ def _analyze_for_cli(args, session: Session, scop):
         return result, 0
 
 
-def _model_result_with_store(args, session: Session, scop) -> Tuple[Optional[ModelResult], bool, int]:
-    """Analytical result via the persistent store: ``(result, cached, exit_code)``."""
+def _model_result_with_store(
+    args, session: Session, scop, *, structural: bool = False
+) -> Tuple[Optional[ModelResult], bool, int]:
+    """Analytical result via the persistent store: ``(result, cached, exit_code)``.
+
+    With ``structural=True`` the store digest fingerprints the scop's full
+    structure instead of the (kernel, dataset) name pair — used by ``analyze``,
+    where the same kernel name may mean different file contents over time.
+    """
     store = session.open_store()
     digest = None
     if store is not None:
         # The spec mirrors the session machine exactly (L1 always present,
         # L2/L3 optional), so distinct hierarchies never alias one digest.
-        digest = job_digest(session.job_spec(args.kernel, args.dataset))
+        kernel_name = getattr(args, "kernel", None) or scop.name
+        spec = session.job_spec(
+            kernel_name, args.dataset, scop=scop if structural else None
+        )
+        digest = job_digest(spec)
         payload = store.get_result(digest)
         if payload is not None:
             try:
@@ -396,6 +410,58 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_store_arguments(model_parser)
     _add_backend_argument(model_parser)
 
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="parse a kernel DSL (.knl) file and run the analytical model on it",
+    )
+    analyze_parser.add_argument(
+        "file", help="kernel DSL file (language reference: docs/KERNEL_DSL.md)"
+    )
+    analyze_parser.add_argument(
+        "--dataset",
+        default=None,
+        help="dataset block of the file to instantiate (default: its first block)",
+    )
+    _add_machine_arguments(analyze_parser)
+    analyze_parser.add_argument(
+        "--no-fallback", action="store_true", help="fail instead of falling back to the trace"
+    )
+    analyze_parser.add_argument(
+        "--curve",
+        action="store_true",
+        help="report a miss curve over a capacity sweep instead of the level table",
+    )
+    analyze_parser.add_argument(
+        "--sweep",
+        metavar="MIN:MAX[:POINTS]",
+        default=None,
+        help="capacity sweep for --curve (same syntax as the curve command)",
+    )
+    analyze_parser.add_argument(
+        "--capacities",
+        metavar="LIST",
+        default=None,
+        help="explicit cache sizes for --curve (comma-separated, K/M/G suffixes ok)",
+    )
+    analyze_parser.add_argument(
+        "--json", action="store_true", help="machine-readable --curve output"
+    )
+    analyze_parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the trace simulator and compare the miss counts",
+    )
+    analyze_parser.add_argument(
+        "--associativity",
+        type=int,
+        default=None,
+        help="simulator ways for --compare (default: fully associative)",
+    )
+    _add_budget_argument(analyze_parser)
+    _add_workers_argument(analyze_parser)
+    _add_store_arguments(analyze_parser)
+    _add_backend_argument(analyze_parser)
+
     sim_parser = subparsers.add_parser("simulate", help="run the trace-driven simulator")
     _add_cache_arguments(sim_parser)
     sim_parser.add_argument("--associativity", type=int, default=None, help="ways (default: fully associative)")
@@ -526,6 +592,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "batch":
         return _run_batch(args)
 
+    if args.command == "analyze":
+        return _run_analyze(args)
+
     if args.command == "bench":
         return _run_bench(args)
 
@@ -549,22 +618,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     if args.command == "model":
-        try:
-            session = _session_from_args(args, machine)
-        except SessionConfigError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
-        result, cached, exit_code = _model_result_with_store(args, session, scop)
-        if result is None:
-            return exit_code
-        rows = [
-            (level.name, level.cache_size, level.accesses, level.compulsory, level.capacity, level.misses, level.hits)
-            for level in result.level_results
-        ]
-        print(format_table(["level", "size [B]", "accesses", "compulsory", "capacity", "misses", "hits"], rows,
-                           title=f"{scop.name} ({args.dataset}) — analytical model"))
-        print(f"pieces: {result.piece_count}, " + _model_stats_line(result, cached, not args.no_store))
-        return 0
+        return _run_model(args, machine, scop)
 
     if args.command == "curve":
         return _run_curve(args, machine, scop)
@@ -587,37 +641,66 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "compare":
-        try:
-            session = _session_from_args(args, machine)
-        except SessionConfigError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
-        model_result, cached, exit_code = _model_result_with_store(args, session, scop)
-        if model_result is None:
-            return exit_code
-        sim_result = _simulator(machine, args.associativity, args.backend).run(scop)
-        rows = []
-        disagreement = 0
-        for index, level in enumerate(model_result.level_results):
-            sim = sim_result.levels[index]
-            difference = level.misses - sim.misses
-            disagreement += abs(difference)
-            rows.append((level.name, level.misses, sim.misses, difference))
-        # A fallback "model" result is itself trace-derived, so agreement with
-        # the simulator does not validate the symbolic pipeline; say so.
-        title = f"{scop.name} ({args.dataset}) — model vs. simulation"
-        if model_result.used_fallback:
-            title += " (model used trace fallback)"
-        print(format_table(["level", "model misses", "simulated misses", "difference"], rows, title=title))
-        # The statistics footer is printed on every path — the fallback run
-        # in particular must not silently drop its cache/store counters.
-        print(_model_stats_line(model_result, cached, not args.no_store))
-        return 1 if disagreement else 0
+        return _run_compare(args, machine, scop)
 
     return 1
 
 
-def _run_curve(args, machine: MachineModel, scop) -> int:
+def _run_model(args, machine: MachineModel, scop, *, structural: bool = False) -> int:
+    """``model`` subcommand body (also the default mode of ``analyze``)."""
+    try:
+        session = _session_from_args(args, machine)
+    except SessionConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    result, cached, exit_code = _model_result_with_store(
+        args, session, scop, structural=structural
+    )
+    if result is None:
+        return exit_code
+    rows = [
+        (level.name, level.cache_size, level.accesses, level.compulsory, level.capacity, level.misses, level.hits)
+        for level in result.level_results
+    ]
+    print(format_table(["level", "size [B]", "accesses", "compulsory", "capacity", "misses", "hits"], rows,
+                       title=f"{scop.name} ({args.dataset}) — analytical model"))
+    print(f"pieces: {result.piece_count}, " + _model_stats_line(result, cached, not args.no_store))
+    return 0
+
+
+def _run_compare(args, machine: MachineModel, scop, *, structural: bool = False) -> int:
+    """``compare`` subcommand body (also ``analyze --compare``)."""
+    try:
+        session = _session_from_args(args, machine)
+    except SessionConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    model_result, cached, exit_code = _model_result_with_store(
+        args, session, scop, structural=structural
+    )
+    if model_result is None:
+        return exit_code
+    sim_result = _simulator(machine, args.associativity, args.backend).run(scop)
+    rows = []
+    disagreement = 0
+    for index, level in enumerate(model_result.level_results):
+        sim = sim_result.levels[index]
+        difference = level.misses - sim.misses
+        disagreement += abs(difference)
+        rows.append((level.name, level.misses, sim.misses, difference))
+    # A fallback "model" result is itself trace-derived, so agreement with
+    # the simulator does not validate the symbolic pipeline; say so.
+    title = f"{scop.name} ({args.dataset}) — model vs. simulation"
+    if model_result.used_fallback:
+        title += " (model used trace fallback)"
+    print(format_table(["level", "model misses", "simulated misses", "difference"], rows, title=title))
+    # The statistics footer is printed on every path — the fallback run
+    # in particular must not silently drop its cache/store counters.
+    print(_model_stats_line(model_result, cached, not args.no_store))
+    return 1 if disagreement else 0
+
+
+def _run_curve(args, machine: MachineModel, scop, *, structural: bool = False) -> int:
     """``curve`` subcommand: one analysis, a whole capacity sweep."""
     try:
         sweep = _curve_capacities(args, machine)
@@ -629,7 +712,9 @@ def _run_curve(args, machine: MachineModel, scop) -> int:
     except SessionConfigError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    result, cached, exit_code = _model_result_with_store(args, session, scop)
+    result, cached, exit_code = _model_result_with_store(
+        args, session, scop, structural=structural
+    )
     if result is None:
         return exit_code
     curve = result.miss_curve
@@ -667,6 +752,56 @@ def _run_curve(args, machine: MachineModel, scop) -> int:
     print(format_miss_curve(curve, sweep, title=title))
     print(_model_stats_line(result, cached, not args.no_store))
     return 0
+
+
+def _run_analyze(args) -> int:
+    """``analyze`` subcommand: model/curve/compare straight from a .knl file.
+
+    Parse and validation failures print the located error with a caret
+    snippet (see :meth:`repro.frontend.KernelParseError.render`) and exit
+    with status 2 — never a traceback.  The file is *not* registered: the
+    scop feeds the session directly and the store digest fingerprints its
+    structure, so editing the file never serves a stale cached result.
+    """
+    if args.curve and args.compare:
+        print("--curve and --compare are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.json and not args.curve:
+        print("--json requires --curve", file=sys.stderr)
+        return 2
+    if args.associativity is not None and not args.compare:
+        print("--associativity only applies with --compare", file=sys.stderr)
+        return 2
+    if (args.sweep or args.capacities) and not args.curve:
+        print("--sweep/--capacities only apply with --curve", file=sys.stderr)
+        return 2
+    try:
+        machine = _machine_from_args(args)
+    except (_ArgsError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        program = parse_kernel_path(args.file)
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    except KernelParseError as exc:
+        print(exc.render(), file=sys.stderr)
+        return 2
+    dataset = args.dataset or next(iter(program.datasets))
+    try:
+        scop = program.instantiate(program.dataset_sizes(dataset))
+    except KernelParseError as exc:
+        print(exc.render(), file=sys.stderr)
+        return 2
+    # Downstream helpers label output and key the store off these fields.
+    args.dataset = dataset
+    args.kernel = program.name
+    if args.curve:
+        return _run_curve(args, machine, scop, structural=True)
+    if args.compare:
+        return _run_compare(args, machine, scop, structural=True)
+    return _run_model(args, machine, scop, structural=True)
 
 
 def _run_kernels(args) -> int:

@@ -1,0 +1,60 @@
+"""Textual kernel frontend: parse ``.knl`` files into analyzable scops.
+
+The kernel DSL describes an affine loop nest the same way the paper's
+frontend summarises one — ISL-style iteration domains, explicit 2d+1
+schedules, and ordered affine array accesses — in a plain text file::
+
+    kernel gemm
+
+    dataset mini { NI = 10, NJ = 12, NK = 14 }
+
+    array C[NI][NJ]
+    array A[NI][NK]
+    array B[NK][NJ]
+
+    S0: { [i, j] : 0 <= i < NI and 0 <= j < NJ }
+        schedule [0, i, 0, j, 0]
+        C[i][j] *= beta
+
+    S1: { [i, k, j] : 0 <= i < NI and 0 <= k < NK and 0 <= j < NJ }
+        schedule [0, i, 1, k, 0, j, 0]
+        C[i][j] += A[i][k] * B[k][j]
+
+Entry points:
+
+* :func:`parse_kernel` / :func:`parse_kernel_path` — text to
+  :class:`KernelProgram` (all syntax checked, located errors);
+* :meth:`KernelProgram.instantiate` — dataset sizes to a concrete
+  :class:`~repro.scop.scop.Scop` (semantic checks: affinity, ranks, bounds);
+* :func:`register_kernel_file` — plug a file into the kernel registry so the
+  Session/batch/store machinery treats it like a built-in kernel;
+* :func:`unparse` — render any expressible scop back to DSL text
+  (round-trips to an identical analysis result);
+* :func:`parse_domain` — standalone ISL-style set parsing for tests and
+  interactive exploration.
+
+All failures raise :class:`KernelParseError` with ``file:line:col`` and a
+caret snippet (see :meth:`KernelParseError.render`).  The complete language
+reference lives in ``docs/KERNEL_DSL.md``.
+"""
+
+from .errors import KernelParseError
+from .domains import parse_domain
+from .parser import (
+    KernelProgram,
+    parse_kernel,
+    parse_kernel_path,
+    register_kernel_file,
+)
+from .unparser import UnparseError, unparse
+
+__all__ = [
+    "KernelParseError",
+    "KernelProgram",
+    "UnparseError",
+    "parse_domain",
+    "parse_kernel",
+    "parse_kernel_path",
+    "register_kernel_file",
+    "unparse",
+]

@@ -1,0 +1,288 @@
+"""Expression and iteration-domain parsing for the kernel DSL.
+
+Two layers live here:
+
+* a small recursive-descent **expression parser** producing an AST shared by
+  domain constraints, array extents, array index expressions, and statement
+  right-hand sides (`parse_expression`), plus the conversion of the affine
+  subset into :class:`~repro.isl.qpoly.QPoly` (`expression_to_poly`);
+* the **ISL-style domain parser**: ``{ [i, j] : 0 <= i < N and 0 <= j < M }``
+  with chained comparisons, conjunction via ``and``, and equality via ``==``
+  (`parse_domain_body`, and the standalone helper `parse_domain`).
+
+Chained comparisons desugar pairwise exactly like the ``ge``/``le``/``lt``
+constructors of :mod:`repro.isl.constraints` — ``0 <= i < N`` becomes the two
+normal-form constraints ``i >= 0`` and ``N - i - 1 >= 0``, which is precisely
+what :meth:`repro.scop.builder.ScopBuilder.loop` emits for a half-open C
+loop.  That shared normal form (and the preserved textual constraint order)
+is what makes ``parse(unparse(scop))`` reproduce a byte-identical
+:class:`~repro.isl.constraints.ConstraintSystem`.
+
+Affinity is *not* checked here: ``N*i`` is non-affine before dataset
+substitution and affine after it, so the degree check happens in
+:meth:`repro.frontend.parser.KernelProgram.instantiate` once the sizes are
+concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from ..isl.constraints import ConstraintSystem, Constraint, EQ, INEQ
+from ..isl.qpoly import QPoly
+from .lexer import INT, NAME, OP, Token, TokenStream
+
+__all__ = [
+    "ArrayIndex",
+    "BinOp",
+    "ConstraintDecl",
+    "DomainDecl",
+    "ExprNode",
+    "Name",
+    "Neg",
+    "Num",
+    "expression_to_poly",
+    "parse_domain",
+    "parse_domain_body",
+    "parse_expression",
+]
+
+
+# ----------------------------------------------------------------------
+# Expression AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Num:
+    value: int
+    token: Token
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str
+    token: Token
+
+
+@dataclass(frozen=True)
+class Neg:
+    operand: "ExprNode"
+    token: Token
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # "+", "-", "*", "/"
+    left: "ExprNode"
+    right: "ExprNode"
+    token: Token
+
+
+@dataclass(frozen=True)
+class ArrayIndex:
+    """``name[e1][e2]...`` — an array access appearing in an expression."""
+
+    array: str
+    indices: Tuple["ExprNode", ...]
+    token: Token
+
+
+ExprNode = Union[Num, Name, Neg, BinOp, ArrayIndex]
+
+
+# ----------------------------------------------------------------------
+# Expression parsing (precedence: unary minus > * / > + -)
+# ----------------------------------------------------------------------
+def parse_expression(ts: TokenStream) -> ExprNode:
+    node = _parse_term(ts)
+    while ts.at_op("+") or ts.at_op("-"):
+        op = ts.next()
+        right = _parse_term(ts)
+        node = BinOp(op.text, node, right, op)
+    return node
+
+
+def _parse_term(ts: TokenStream) -> ExprNode:
+    node = _parse_unary(ts)
+    while ts.at_op("*") or ts.at_op("/"):
+        op = ts.next()
+        right = _parse_unary(ts)
+        node = BinOp(op.text, node, right, op)
+    return node
+
+
+def _parse_unary(ts: TokenStream) -> ExprNode:
+    if ts.at_op("-"):
+        op = ts.next()
+        return Neg(_parse_unary(ts), op)
+    return _parse_atom(ts)
+
+
+def _parse_atom(ts: TokenStream) -> ExprNode:
+    token = ts.peek()
+    if token.kind == INT:
+        ts.next()
+        return Num(int(token.text), token)
+    if token.kind == NAME:
+        ts.next()
+        if ts.at_op("["):
+            indices: List[ExprNode] = []
+            while ts.at_op("["):
+                ts.next()
+                indices.append(parse_expression(ts))
+                ts.expect_op("]", "to close the index expression")
+            return ArrayIndex(token.text, tuple(indices), token)
+        return Name(token.text, token)
+    if token.kind == OP and token.text == "(":
+        ts.next()
+        node = parse_expression(ts)
+        ts.expect_op(")", "to close the parenthesized expression")
+        return node
+    ts.error(f"expected an expression, got {token.describe()}")
+
+
+# ----------------------------------------------------------------------
+# Affine conversion
+# ----------------------------------------------------------------------
+def expression_to_poly(ts: TokenStream, node: ExprNode, *, where: str) -> QPoly:
+    """Convert an expression AST to a :class:`QPoly` or fail with a location.
+
+    Division and array accesses have no polynomial meaning and are rejected;
+    multiplication is allowed (the product may become affine only after
+    dataset substitution, e.g. ``N*i``), so the degree check is deferred to
+    instantiation.
+    """
+    if isinstance(node, Num):
+        return QPoly.constant(node.value)
+    if isinstance(node, Name):
+        return QPoly.variable(node.ident)
+    if isinstance(node, Neg):
+        return -expression_to_poly(ts, node.operand, where=where)
+    if isinstance(node, BinOp):
+        if node.op == "/":
+            ts.error(
+                f"division is not allowed in {where} (index and bound "
+                "expressions must be affine)",
+                node.token,
+            )
+        left = expression_to_poly(ts, node.left, where=where)
+        right = expression_to_poly(ts, node.right, where=where)
+        if node.op == "+":
+            return left + right
+        if node.op == "-":
+            return left - right
+        return left * right
+    assert isinstance(node, ArrayIndex)
+    ts.error(
+        f"array access {node.array!r} is not allowed in {where} "
+        "(indirect addressing is not affine)",
+        node.token,
+    )
+
+
+# ----------------------------------------------------------------------
+# Domains
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConstraintDecl:
+    """One constraint ``expr >= 0`` (kind ``ineq``) or ``expr == 0`` (``eq``).
+
+    ``expr`` is the pre-substitution polynomial: loop variables and dataset
+    parameters both appear symbolically until instantiation.
+    """
+
+    expr: QPoly
+    kind: str
+    token: Token
+
+
+@dataclass(frozen=True)
+class DomainDecl:
+    """A parsed iteration domain: ordered variables plus constraints."""
+
+    variables: Tuple[str, ...]
+    constraints: Tuple[ConstraintDecl, ...]
+    token: Token
+
+
+#: Comparison operators usable in constraint chains.
+RELOPS = ("<=", "<", ">=", ">", "==", "=")
+
+
+def parse_domain_body(ts: TokenStream) -> DomainDecl:
+    """Parse ``{ [vars] : constraints }`` (the ``: constraints`` part optional)."""
+    open_token = ts.expect_op("{", "to open the iteration domain")
+    ts.expect_op("[", "to open the loop-variable list")
+    variables: List[str] = []
+    if not ts.at_op("]"):
+        while True:
+            token = ts.expect_name("a loop variable name")
+            if token.text in variables:
+                ts.error(f"duplicate loop variable {token.text!r}", token)
+            variables.append(token.text)
+            if ts.at_op(","):
+                ts.next()
+                continue
+            break
+    ts.expect_op("]", "to close the loop-variable list")
+    constraints: List[ConstraintDecl] = []
+    if ts.at_op(":"):
+        ts.next()
+        if not ts.at_op("}"):
+            while True:
+                constraints.extend(_parse_constraint_chain(ts))
+                if ts.at_name("and"):
+                    ts.next()
+                    continue
+                break
+    ts.expect_op("}", "to close the iteration domain")
+    return DomainDecl(tuple(variables), tuple(constraints), open_token)
+
+
+def _parse_constraint_chain(ts: TokenStream) -> List[ConstraintDecl]:
+    """``expr (relop expr)+`` — each adjacent pair yields one constraint."""
+    exprs: List[QPoly] = [_parse_affine(ts, where="a domain constraint")]
+    ops: List[Token] = []
+    while ts.peek().kind == OP and ts.peek().text in RELOPS:
+        ops.append(ts.next())
+        exprs.append(_parse_affine(ts, where="a domain constraint"))
+    if not ops:
+        ts.error("expected a comparison operator (<=, <, >=, >, ==) after the expression")
+    out: List[ConstraintDecl] = []
+    for index, op in enumerate(ops):
+        a, b = exprs[index], exprs[index + 1]
+        if op.text == "<=":
+            out.append(ConstraintDecl(b - a, INEQ, op))
+        elif op.text == "<":
+            out.append(ConstraintDecl(b - a - 1, INEQ, op))
+        elif op.text == ">=":
+            out.append(ConstraintDecl(a - b, INEQ, op))
+        elif op.text == ">":
+            out.append(ConstraintDecl(a - b - 1, INEQ, op))
+        else:  # "==" or "="
+            out.append(ConstraintDecl(a - b, EQ, op))
+    return out
+
+
+def _parse_affine(ts: TokenStream, *, where: str) -> QPoly:
+    return expression_to_poly(ts, parse_expression(ts), where=where)
+
+
+def parse_domain(text: str, *, filename: str = "<domain>"):
+    """Parse a standalone ISL-style set string into its components.
+
+    Returns ``(variables, system)``: the ordered loop-variable tuple and the
+    :class:`ConstraintSystem` (names other than the declared variables stay
+    symbolic, i.e. act as parameters).  Intended for interactive exploration
+    and tests; kernel files go through :func:`repro.frontend.parse_kernel`.
+    """
+    ts = TokenStream(text, filename)
+    decl = parse_domain_body(ts)
+    if not ts.at_eof():
+        ts.error(f"unexpected trailing input after the domain: {ts.peek().describe()}")
+    system = ConstraintSystem()
+    for constraint in decl.constraints:
+        if not constraint.expr.is_affine():
+            ts.error("constraint is not affine", constraint.token)
+        system.add(Constraint(constraint.expr, constraint.kind))
+    return decl.variables, system

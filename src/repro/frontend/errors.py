@@ -1,0 +1,76 @@
+"""Located errors for the kernel DSL frontend.
+
+Every parse or validation failure in :mod:`repro.frontend` raises a single
+exception type, :class:`KernelParseError`, carrying the source position
+(``file:line:col``) and the offending source line.  The CLI prints
+:meth:`KernelParseError.render` — message plus a caret snippet — and exits
+with status 2; programmatic callers can catch the one type and inspect the
+structured fields instead of scraping tracebacks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["KernelParseError"]
+
+
+class KernelParseError(Exception):
+    """A located syntax or semantic error in kernel DSL input.
+
+    ``line`` and ``col`` are 1-based; ``source_line`` is the raw text of the
+    offending line (tabs replaced by single spaces so the caret stays
+    aligned).  All location fields are optional: errors detected without a
+    token (e.g. an empty file) omit them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        filename: Optional[str] = None,
+        line: Optional[int] = None,
+        col: Optional[int] = None,
+        source_line: Optional[str] = None,
+    ) -> None:
+        self.message = message
+        self.filename = filename or "<kernel>"
+        self.line = line
+        self.col = col
+        self.source_line = (
+            source_line.replace("\t", " ") if source_line is not None else None
+        )
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        location = self.filename
+        if self.line is not None:
+            location += f":{self.line}"
+            if self.col is not None:
+                location += f":{self.col}"
+        return f"{location}: {self.message}"
+
+    def render(self) -> str:
+        """Multi-line rendering with a caret pointing at the error column."""
+        out: List[str] = [self._format()]
+        if self.source_line is not None and self.col is not None:
+            out.append("    " + self.source_line)
+            out.append("    " + " " * (self.col - 1) + "^")
+        return "\n".join(out)
+
+
+def located_error(
+    message: str,
+    *,
+    filename: str,
+    lines: Sequence[str],
+    line: Optional[int] = None,
+    col: Optional[int] = None,
+) -> KernelParseError:
+    """Build a :class:`KernelParseError` resolving the source line text."""
+    source_line = None
+    if line is not None and 1 <= line <= len(lines):
+        source_line = lines[line - 1]
+    return KernelParseError(
+        message, filename=filename, line=line, col=col, source_line=source_line
+    )

@@ -1,0 +1,149 @@
+"""Tokenizer for the kernel DSL with line/column tracking.
+
+The language is newline-insensitive: statements are delimited by structure
+(braces, brackets, directives), never by line breaks, so the lexer folds
+whitespace away but records the 1-based line/column of every token for
+error reporting.  ``#`` and ``//`` start comments running to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, NoReturn, Optional
+
+from .errors import located_error
+
+__all__ = ["Token", "TokenStream", "NAME", "INT", "STRING", "OP", "EOF"]
+
+NAME = "name"
+INT = "int"
+STRING = "string"
+OP = "op"
+EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its 1-based source position."""
+
+    kind: str
+    text: str
+    line: int
+    col: int
+
+    def describe(self) -> str:
+        if self.kind == EOF:
+            return "end of file"
+        return repr(self.text)
+
+
+#: Multi-character operators must precede their prefixes.
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>[ \t\r\f\v]+)
+    | (?P<nl>\n)
+    | (?P<comment>\#[^\n]*|//[^\n]*)
+    | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<int>[0-9]+)
+    | (?P<string>"[^"\n]*")
+    | (?P<op>\+=|-=|\*=|/=|==|<=|>=|[{}\[\]():,;=<>+\-*/])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str, filename: str, lines: List[str]) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            col = pos - line_start + 1
+            char = text[pos]
+            message = (
+                "unterminated string literal"
+                if char == '"'
+                else f"unexpected character {char!r}"
+            )
+            raise located_error(message, filename=filename, lines=lines, line=line, col=col)
+        kind = match.lastgroup
+        if kind == "nl":
+            line += 1
+            line_start = match.end()
+        elif kind not in ("ws", "comment"):
+            col = match.start() - line_start + 1
+            tokens.append(Token(kind, match.group(), line, col))
+        pos = match.end()
+    tokens.append(Token(EOF, "", line, len(text) - line_start + 1))
+    return tokens
+
+
+class TokenStream:
+    """Token cursor with lookahead, expectation helpers and located errors."""
+
+    def __init__(self, text: str, filename: str = "<kernel>") -> None:
+        self.filename = filename
+        self.lines = text.split("\n")
+        self.tokens = _tokenize(text, filename, self.lines)
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # Cursor
+    # ------------------------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self.index + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != EOF:
+            self.index += 1
+        return token
+
+    def at_eof(self) -> bool:
+        return self.peek().kind == EOF
+
+    def at_op(self, text: str) -> bool:
+        token = self.peek()
+        return token.kind == OP and token.text == text
+
+    def at_name(self, text: Optional[str] = None) -> bool:
+        token = self.peek()
+        if token.kind != NAME:
+            return False
+        return text is None or token.text == text
+
+    # ------------------------------------------------------------------
+    # Expectations
+    # ------------------------------------------------------------------
+    def expect_op(self, text: str, context: Optional[str] = None) -> Token:
+        if not self.at_op(text):
+            suffix = f" {context}" if context else ""
+            self.error(f"expected {text!r}{suffix}, got {self.peek().describe()}")
+        return self.next()
+
+    def expect_name(self, what: str = "a name") -> Token:
+        if self.peek().kind != NAME:
+            self.error(f"expected {what}, got {self.peek().describe()}")
+        return self.next()
+
+    def expect_int(self, what: str = "an integer") -> Token:
+        if self.peek().kind != INT:
+            self.error(f"expected {what}, got {self.peek().describe()}")
+        return self.next()
+
+    # ------------------------------------------------------------------
+    # Errors
+    # ------------------------------------------------------------------
+    def error(self, message: str, token: Optional[Token] = None) -> NoReturn:
+        token = token if token is not None else self.peek()
+        raise located_error(
+            message,
+            filename=self.filename,
+            lines=self.lines,
+            line=token.line,
+            col=token.col,
+        )

@@ -1,0 +1,408 @@
+"""File-level kernel DSL parser: ``.knl`` text to :class:`KernelProgram`.
+
+A kernel file has four kinds of top-level forms (newlines are
+insignificant; ``#`` and ``//`` comments run to end of line)::
+
+    kernel gemm                              # exactly once, first
+
+    dataset mini { NI = 10, NJ = 12, NK = 14 }   # zero or more
+
+    array C[NI][NJ]                          # extents are affine in the
+    array A[NI][NK] elem 4                   # dataset parameters
+
+    S0: { [i, j] : 0 <= i < NI and 0 <= j < NJ }   # one or more statements
+        schedule [0, i, 0, j, 0]
+        C[i][j] *= beta
+
+Parsing is two-phase.  :func:`parse_kernel` checks all syntax and produces a
+:class:`KernelProgram` whose expressions still reference dataset parameters
+symbolically; :meth:`KernelProgram.instantiate` substitutes one dataset's
+sizes and performs the semantic checks that need concrete values (affinity,
+array ranks, positive extents, unbound names), building the final
+:class:`~repro.scop.scop.Scop`.  ``instantiate`` has exactly the
+``builder(sizes) -> Scop`` signature the kernel registry expects, so
+:func:`register_kernel_file` plugs a file into
+:func:`repro.api.registry.register_kernel` directly and every downstream
+consumer (Session, batch engine, store, miss curves) works unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..isl.constraints import Constraint, ConstraintSystem
+from ..isl.qpoly import QPoly
+from ..scop.scop import AccessRef, Array, Scop, Statement
+from .domains import expression_to_poly, parse_expression
+from .errors import KernelParseError, located_error
+from .lexer import NAME, STRING, Token, TokenStream
+from .statements import StatementDecl, parse_statement
+
+__all__ = [
+    "ArrayDecl",
+    "KernelProgram",
+    "RESERVED_WORDS",
+    "parse_kernel",
+    "parse_kernel_path",
+    "register_kernel_file",
+]
+
+
+#: Words with grammatical meaning; not usable as array or statement names.
+RESERVED_WORDS = frozenset(
+    {"kernel", "dataset", "array", "schedule", "access", "read", "write", "elem", "and"}
+)
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A parsed ``array`` declaration (extents pre-substitution)."""
+
+    name: str
+    token: Token
+    extents: Tuple[QPoly, ...]
+    element_size: int
+
+
+class KernelProgram:
+    """A parsed kernel file, instantiable at any of its datasets.
+
+    Instances are picklable (plain data plus :class:`QPoly` expressions), so
+    a registered ``instantiate`` builder survives the trip into spawn-started
+    batch workers.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        filename: str,
+        datasets: Dict[str, Dict[str, int]],
+        arrays: Dict[str, ArrayDecl],
+        statements: List[StatementDecl],
+        source_lines: Tuple[str, ...],
+    ) -> None:
+        self.name = name
+        self.filename = filename
+        #: Dataset blocks in file order; an empty file gets ``{"mini": {}}``.
+        self.datasets = datasets
+        self.arrays = arrays
+        self.statements = statements
+        self._source_lines = source_lines
+
+    # ------------------------------------------------------------------
+    # Errors
+    # ------------------------------------------------------------------
+    def _error(self, message: str, token: Token) -> KernelParseError:
+        return located_error(
+            message,
+            filename=self.filename,
+            lines=self._source_lines,
+            line=token.line,
+            col=token.col,
+        )
+
+    # ------------------------------------------------------------------
+    # Instantiation
+    # ------------------------------------------------------------------
+    def dataset_sizes(self, dataset: str) -> Dict[str, int]:
+        """Size bindings of one dataset block (:class:`KernelParseError` on typos)."""
+        if dataset not in self.datasets:
+            raise KernelParseError(
+                f"kernel {self.name!r} has no dataset {dataset!r}; "
+                f"available: {', '.join(self.datasets)}",
+                filename=self.filename,
+            )
+        return dict(self.datasets[dataset])
+
+    def instantiate(self, sizes: Optional[Mapping[str, int]] = None) -> Scop:
+        """Build the :class:`Scop` for concrete size parameters.
+
+        ``sizes`` maps dataset parameter names to integers (extra names are
+        ignored, like PolyBench builders ignore unused entries).  Raises
+        :class:`KernelParseError` — located at the offending source token —
+        for non-affine expressions, unbound names, rank mismatches, or
+        non-positive extents.
+        """
+        params = {name: int(value) for name, value in dict(sizes or {}).items()}
+        scop = Scop(self.name, context=params)
+        for decl in self.arrays.values():
+            shape = []
+            for dimension, extent in enumerate(decl.extents):
+                value = extent.substitute(params)
+                if not value.is_constant():
+                    unknown = ", ".join(sorted(value.free_variables()))
+                    raise self._error(
+                        f"extent {dimension} of array {decl.name!r} references "
+                        f"unbound parameter(s) {unknown} (bind them in a "
+                        "dataset block)",
+                        decl.token,
+                    )
+                constant = value.constant_value()
+                if constant.denominator != 1 or constant <= 0:
+                    raise self._error(
+                        f"extent {dimension} of array {decl.name!r} must be a "
+                        f"positive integer, got {constant}",
+                        decl.token,
+                    )
+                shape.append(int(constant))
+            scop.add_array(Array(decl.name, tuple(shape), decl.element_size))
+        for decl in self.statements:
+            scop.add_statement(self._instantiate_statement(decl, scop, params))
+        return scop
+
+    def _instantiate_statement(
+        self, decl: StatementDecl, scop: Scop, params: Dict[str, int]
+    ) -> Statement:
+        variables = decl.domain.variables
+        # Loop variables shadow same-named dataset parameters (lexical
+        # scoping): substitution only touches the parameters visible here.
+        visible = {k: v for k, v in params.items() if k not in variables}
+        domain = ConstraintSystem()
+        for constraint in decl.domain.constraints:
+            expr = self._resolve(
+                constraint.expr, visible, variables, constraint.token,
+                what=f"constraint of statement {decl.name!r}",
+            )
+            domain.add(Constraint(expr, constraint.kind))
+        accesses = []
+        for access in decl.accesses:
+            array = scop.arrays.get(access.array)
+            if array is None:
+                raise self._error(
+                    f"array {access.array!r} is not declared (add "
+                    f"'array {access.array}[...]' before the statements)",
+                    access.token,
+                )
+            if len(access.indices) != array.rank:
+                raise self._error(
+                    f"access to {access.array!r} has {len(access.indices)} "
+                    f"index(es), but the array has rank {array.rank}",
+                    access.token,
+                )
+            exprs = tuple(
+                self._resolve(
+                    index, visible, variables, access.token,
+                    what=f"index of access to {access.array!r}",
+                )
+                for index in access.indices
+            )
+            accesses.append(AccessRef(array, exprs, access.is_write))
+        return Statement(
+            name=decl.name,
+            loop_vars=variables,
+            domain=domain,
+            schedule=decl.schedule,
+            accesses=accesses,
+        )
+
+    def _resolve(
+        self,
+        expr: QPoly,
+        visible: Dict[str, int],
+        variables: Tuple[str, ...],
+        token: Token,
+        *,
+        what: str,
+    ) -> QPoly:
+        """Substitute dataset sizes, then check closedness and affinity."""
+        value = expr.substitute(visible)
+        unknown = sorted(value.free_variables() - set(variables))
+        if unknown:
+            known = ", ".join(sorted(visible)) or "none"
+            raise self._error(
+                f"unknown name(s) {', '.join(unknown)} in {what}: not a loop "
+                f"variable of this statement and not bound by the dataset "
+                f"(bound parameters: {known})",
+                token,
+            )
+        if not value.is_affine():
+            raise self._error(
+                f"{what} is not affine after substituting the dataset sizes "
+                f"(got {value})",
+                token,
+            )
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"KernelProgram({self.name!r}, {len(self.statements)} statements, "
+            f"{len(self.arrays)} arrays, datasets: {', '.join(self.datasets)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# File grammar
+# ----------------------------------------------------------------------
+def parse_kernel(text: str, filename: str = "<kernel>") -> KernelProgram:
+    """Parse complete kernel DSL text into a :class:`KernelProgram`."""
+    ts = TokenStream(text, filename)
+    name = _parse_header(ts)
+    datasets: Dict[str, Dict[str, int]] = {}
+    arrays: Dict[str, ArrayDecl] = {}
+    statements: List[StatementDecl] = []
+    statement_names: Dict[str, Token] = {}
+    while not ts.at_eof():
+        token = ts.peek()
+        if ts.at_name("kernel"):
+            ts.error("duplicate 'kernel' directive (a file defines one kernel)")
+        if ts.at_name("dataset"):
+            _parse_dataset(ts, datasets)
+            continue
+        if ts.at_name("array"):
+            decl = _parse_array(ts)
+            if decl.name in arrays:
+                ts.error(f"duplicate array {decl.name!r}", decl.token)
+            arrays[decl.name] = decl
+            continue
+        if token.kind == NAME:
+            label = ts.next()
+            if label.text in RESERVED_WORDS:
+                ts.error(
+                    f"{label.text!r} is a reserved word and cannot name a "
+                    "statement",
+                    label,
+                )
+            ts.expect_op(":", f"after statement name {label.text!r}")
+            if label.text in statement_names:
+                ts.error(f"duplicate statement {label.text!r}", label)
+            statement_names[label.text] = label
+            statements.append(parse_statement(ts, label, len(statements)))
+            continue
+        ts.error(
+            "expected 'dataset', 'array', or a statement label, got "
+            f"{token.describe()}"
+        )
+    if not statements:
+        ts.error(f"kernel {name!r} defines no statements")
+    if not datasets:
+        datasets["mini"] = {}
+    return KernelProgram(
+        name=name,
+        filename=filename,
+        datasets=datasets,
+        arrays=arrays,
+        statements=statements,
+        source_lines=tuple(ts.lines),
+    )
+
+
+def _parse_header(ts: TokenStream) -> str:
+    if not ts.at_name("kernel"):
+        ts.error("a kernel file must start with 'kernel NAME'")
+    ts.next()
+    token = ts.peek()
+    if token.kind == NAME:
+        ts.next()
+        return token.text
+    if token.kind == STRING:
+        ts.next()
+        name = token.text[1:-1]
+        if not name:
+            ts.error("the kernel name must not be empty", token)
+        return name
+    ts.error(
+        "expected the kernel name (an identifier, or a quoted string for "
+        f"names like \"jacobi-2d\"), got {token.describe()}"
+    )
+
+
+def _parse_dataset(ts: TokenStream, datasets: Dict[str, Dict[str, int]]) -> None:
+    ts.next()  # 'dataset'
+    name = ts.expect_name("a dataset name")
+    if name.text in datasets:
+        ts.error(f"duplicate dataset {name.text!r}", name)
+    ts.expect_op("{", "to open the dataset block")
+    bindings: Dict[str, int] = {}
+    if not ts.at_op("}"):
+        while True:
+            param = ts.expect_name("a size parameter name")
+            if param.text in bindings:
+                ts.error(
+                    f"duplicate parameter {param.text!r} in dataset "
+                    f"{name.text!r}",
+                    param,
+                )
+            ts.expect_op("=", f"after parameter {param.text!r}")
+            negative = False
+            if ts.at_op("-"):
+                ts.next()
+                negative = True
+            value = ts.expect_int(f"an integer value for {param.text!r}")
+            bindings[param.text] = -int(value.text) if negative else int(value.text)
+            if ts.at_op(","):
+                ts.next()
+                if ts.at_op("}"):
+                    break
+                continue
+            break
+    ts.expect_op("}", "to close the dataset block")
+    datasets[name.text] = bindings
+
+
+def _parse_array(ts: TokenStream) -> ArrayDecl:
+    ts.next()  # 'array'
+    name = ts.expect_name("an array name")
+    if name.text in RESERVED_WORDS:
+        ts.error(f"{name.text!r} is a reserved word and cannot name an array", name)
+    if not ts.at_op("["):
+        ts.error(
+            f"array {name.text!r} needs at least one [extent], e.g. "
+            f"array {name.text}[N]"
+        )
+    extents: List[QPoly] = []
+    while ts.at_op("["):
+        ts.next()
+        extents.append(
+            expression_to_poly(
+                ts, parse_expression(ts), where="an array extent"
+            )
+        )
+        ts.expect_op("]", "to close the array extent")
+    element_size = 8
+    if ts.at_name("elem"):
+        ts.next()
+        value = ts.expect_int("the element size in bytes after 'elem'")
+        element_size = int(value.text)
+        if element_size <= 0:
+            ts.error("the element size must be positive", value)
+    return ArrayDecl(
+        name=name.text, token=name, extents=tuple(extents), element_size=element_size
+    )
+
+
+# ----------------------------------------------------------------------
+# Files and registration
+# ----------------------------------------------------------------------
+def parse_kernel_path(path: Union[str, os.PathLike]) -> KernelProgram:
+    """Read and parse a ``.knl`` file (``OSError`` if unreadable)."""
+    path = os.fspath(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_kernel(text, filename=path)
+
+
+def register_kernel_file(
+    path: Union[str, os.PathLike], *, replace: bool = False
+) -> KernelProgram:
+    """Parse ``path`` and register it in the kernel registry.
+
+    The registered entry's name is the file's ``kernel`` name, its builder is
+    :meth:`KernelProgram.instantiate`, its datasets are the file's dataset
+    blocks (in file order), and its source is ``"file:<basename>"`` — which
+    makes Session, the batch engine, the analysis store, and miss curves work
+    for file kernels exactly as for builtins.  ``replace=True`` overrides an
+    existing same-named registration.
+    """
+    program = parse_kernel_path(path)
+    from ..api.registry import register_kernel
+
+    register_kernel(
+        program.name,
+        program.instantiate,
+        datasets=program.datasets,
+        source=f"file:{os.path.basename(os.fspath(path))}",
+        replace=replace,
+    )
+    return program

@@ -1,0 +1,287 @@
+"""Statement parsing for the kernel DSL: domains, schedules, and bodies.
+
+A statement is::
+
+    S1: { [i, k, j] : 0 <= i < NI and 0 <= k < NK and 0 <= j < NJ }
+        schedule [0, i, 1, k, 0, j, 0]
+        C[i][j] += A[i][k] * B[k][j]
+
+The body determines the statement's ordered access list.  The cache model
+only ever sees that list — the arithmetic structure of the right-hand side
+is irrelevant — so body parsing **extracts array accesses left-to-right**
+and discards everything else (bare names are register scalars, exactly like
+the paper's model of PolyBench statements):
+
+* ``W[...] = rhs``   — the reads of ``rhs`` in textual order, then the write;
+* ``W[...] op= rhs`` (``+=``, ``-=``, ``*=``, ``/=``) — the reads of ``rhs``,
+  then a read of ``W[...]``, then the write (a load/compute/store reduction:
+  the compiler frontend loads the accumulator after the operands);
+* ``access(read A[i], write B[i], ...)`` — the explicit form for statements
+  whose access order the sugar cannot express (multiple writes, interleaved
+  reads/writes), preserving the listed order verbatim.
+
+This ordering contract matches
+:meth:`repro.scop.builder.ScopBuilder.stmt` (reads first, then writes), so a
+``.knl`` port of a builder kernel produces the identical access list — which
+per-access results and result digests depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from ..isl.qpoly import QPoly
+from .domains import (
+    ArrayIndex,
+    BinOp,
+    DomainDecl,
+    ExprNode,
+    Name,
+    Neg,
+    Num,
+    expression_to_poly,
+    parse_domain_body,
+    parse_expression,
+)
+from .lexer import INT, NAME, OP, Token, TokenStream
+
+__all__ = ["AccessDecl", "StatementDecl", "parse_statement"]
+
+
+#: Assignment operators; all ``op=`` forms desugar to the same access order.
+ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=")
+
+
+@dataclass(frozen=True)
+class AccessDecl:
+    """One ordered array access of a statement (pre-substitution indices)."""
+
+    array: str
+    indices: Tuple[QPoly, ...]
+    is_write: bool
+    token: Token
+
+
+@dataclass(frozen=True)
+class StatementDecl:
+    """A fully parsed statement: domain, concrete schedule, ordered accesses."""
+
+    name: str
+    token: Token
+    domain: DomainDecl
+    schedule: Tuple[Union[int, str], ...]
+    accesses: Tuple[AccessDecl, ...]
+
+
+def parse_statement(ts: TokenStream, name_token: Token, file_index: int) -> StatementDecl:
+    """Parse domain, optional ``schedule [...]``, and body (label consumed)."""
+    domain = parse_domain_body(ts)
+    schedule: Optional[Tuple[Union[int, str], ...]] = None
+    if ts.at_name("schedule"):
+        ts.next()
+        schedule = _parse_schedule(ts, domain)
+    if schedule is None:
+        schedule = _default_schedule(domain, file_index)
+    accesses = _parse_body(ts)
+    return StatementDecl(
+        name=name_token.text,
+        token=name_token,
+        domain=domain,
+        schedule=schedule,
+        accesses=accesses,
+    )
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+def _default_schedule(domain: DomainDecl, file_index: int) -> Tuple[Union[int, str], ...]:
+    """``[file_index, v1, 0, v2, 0, ..., vd, 0]`` — each statement its own nest."""
+    entries: List[Union[int, str]] = [file_index]
+    for variable in domain.variables:
+        entries.append(variable)
+        entries.append(0)
+    if len(entries) == 1:
+        entries.append(0)
+    return tuple(entries)
+
+
+def _parse_schedule(ts: TokenStream, domain: DomainDecl) -> Tuple[Union[int, str], ...]:
+    open_token = ts.expect_op("[", "to open the schedule vector")
+    entries: List[Union[int, str]] = []
+    tokens: List[Token] = []
+    if not ts.at_op("]"):
+        while True:
+            token = ts.peek()
+            if token.kind == INT:
+                ts.next()
+                entries.append(int(token.text))
+            elif ts.at_op("-") and ts.peek(1).kind == INT:
+                ts.next()
+                value = ts.next()
+                entries.append(-int(value.text))
+            elif token.kind == NAME:
+                ts.next()
+                entries.append(token.text)
+            else:
+                ts.error(
+                    "expected a static position (integer) or a loop variable "
+                    f"in the schedule, got {token.describe()}"
+                )
+            tokens.append(token)
+            if ts.at_op(","):
+                ts.next()
+                continue
+            break
+    ts.expect_op("]", "to close the schedule vector")
+    _validate_schedule(ts, entries, tokens, domain, open_token)
+    return tuple(entries)
+
+
+def _validate_schedule(
+    ts: TokenStream,
+    entries: List[Union[int, str]],
+    tokens: List[Token],
+    domain: DomainDecl,
+    open_token: Token,
+) -> None:
+    """Enforce the 2d+1 interleaving contract of builder schedules.
+
+    The loop variables must appear exactly once each, in domain order, with
+    a static integer position first, last, and between any two variables —
+    the shape :meth:`repro.scop.builder.ScopBuilder.stmt` produces.
+    """
+    names = [
+        (entry, tokens[index])
+        for index, entry in enumerate(entries)
+        if isinstance(entry, str)
+    ]
+    expected = list(domain.variables)
+    actual = [entry for entry, _ in names]
+    if actual != expected:
+        for entry, token in names:
+            if entry not in expected:
+                ts.error(
+                    f"schedule names {entry!r} which is not a loop variable "
+                    f"of this statement (domain variables: "
+                    f"{', '.join(expected) or 'none'})",
+                    token,
+                )
+        ts.error(
+            f"schedule must list the loop variables in domain order "
+            f"({', '.join(expected) or 'none'}), got {', '.join(actual) or 'none'}",
+            open_token,
+        )
+    if not entries or not isinstance(entries[0], int) or not isinstance(entries[-1], int):
+        ts.error(
+            "schedule must start and end with a static position (an integer)",
+            open_token,
+        )
+    for index in range(len(entries) - 1):
+        if isinstance(entries[index], str) and isinstance(entries[index + 1], str):
+            ts.error(
+                "schedule needs a static position (an integer) between "
+                f"{entries[index]!r} and {entries[index + 1]!r}",
+                tokens[index + 1],
+            )
+
+
+# ----------------------------------------------------------------------
+# Bodies
+# ----------------------------------------------------------------------
+def _parse_body(ts: TokenStream) -> Tuple[AccessDecl, ...]:
+    if ts.at_name("access") and ts.peek(1).kind == OP and ts.peek(1).text == "(":
+        return _parse_access_list(ts)
+    return _parse_assignment(ts)
+
+
+def _parse_assignment(ts: TokenStream) -> Tuple[AccessDecl, ...]:
+    target_token = ts.peek()
+    if target_token.kind != NAME:
+        ts.error(
+            f"expected a statement body (an assignment or access(...)), "
+            f"got {target_token.describe()}"
+        )
+    target = _parse_access(ts)
+    op_token = ts.peek()
+    if not (op_token.kind == OP and op_token.text in ASSIGN_OPS):
+        ts.error(
+            "expected an assignment operator (=, +=, -=, *=, /=) after "
+            f"{target.array!r}, got {op_token.describe()}"
+        )
+    ts.next()
+    rhs = parse_expression(ts)
+    accesses: List[AccessDecl] = []
+    _collect_reads(ts, rhs, accesses)
+    if op_token.text != "=":
+        accesses.append(
+            AccessDecl(target.array, target.indices, False, target.token)
+        )
+    accesses.append(AccessDecl(target.array, target.indices, True, target.token))
+    return tuple(accesses)
+
+
+def _collect_reads(ts: TokenStream, node: ExprNode, out: List[AccessDecl]) -> None:
+    """Array accesses of an expression tree, left-to-right; scalars ignored."""
+    if isinstance(node, (Num, Name)):
+        return
+    if isinstance(node, Neg):
+        _collect_reads(ts, node.operand, out)
+        return
+    if isinstance(node, BinOp):
+        _collect_reads(ts, node.left, out)
+        _collect_reads(ts, node.right, out)
+        return
+    assert isinstance(node, ArrayIndex)
+    out.append(_resolve_access(ts, node))
+
+
+def _parse_access(ts: TokenStream) -> AccessDecl:
+    token = ts.expect_name("an array name")
+    if not ts.at_op("["):
+        ts.error(
+            f"expected '[' after {token.text!r}: statement bodies access "
+            "array elements (bare names are register scalars and carry no "
+            "memory accesses)",
+            token,
+        )
+    indices: List[ExprNode] = []
+    while ts.at_op("["):
+        ts.next()
+        indices.append(parse_expression(ts))
+        ts.expect_op("]", "to close the index expression")
+    return _resolve_access(ts, ArrayIndex(token.text, tuple(indices), token))
+
+
+def _resolve_access(ts: TokenStream, node: ArrayIndex) -> AccessDecl:
+    exprs = tuple(
+        expression_to_poly(ts, index, where="an array index expression")
+        for index in node.indices
+    )
+    return AccessDecl(node.array, exprs, False, node.token)
+
+
+def _parse_access_list(ts: TokenStream) -> Tuple[AccessDecl, ...]:
+    ts.next()  # 'access'
+    ts.expect_op("(", "after 'access'")
+    accesses: List[AccessDecl] = []
+    if not ts.at_op(")"):
+        while True:
+            keyword = ts.expect_name("'read' or 'write'")
+            if keyword.text not in ("read", "write"):
+                ts.error(
+                    f"expected 'read' or 'write', got {keyword.text!r}", keyword
+                )
+            access = _parse_access(ts)
+            if keyword.text == "write":
+                access = AccessDecl(access.array, access.indices, True, access.token)
+            accesses.append(access)
+            if ts.at_op(","):
+                ts.next()
+                if ts.at_op(")"):
+                    break
+                continue
+            break
+    ts.expect_op(")", "to close the access list")
+    return tuple(accesses)

@@ -1,0 +1,180 @@
+"""Render a :class:`~repro.scop.scop.Scop` back to kernel DSL text.
+
+The inverse of :func:`repro.frontend.parse_kernel` up to the round-trip
+contract: for any scop ``s`` the frontend can express,
+``parse_kernel(unparse(s)).instantiate(sizes)`` rebuilds a scop with
+byte-identical arrays, domains (same constraints in the same order),
+schedules, and ordered access lists — and therefore an identical analysis
+result and store digest.  A registered scop's loop bounds are already
+concrete, so the rendered constraints are concrete too; the scop's
+``context`` is emitted as a dataset block for documentation and so that the
+file names its size parameters.
+
+Statements whose access list is "reads, then exactly one write" are rendered
+with assignment sugar (``C[i][j] = A[i][k] * B[k][j] * C[i][j]`` — the body
+operator is cosmetic, only the access order matters); anything else falls
+back to the explicit ``access(read ..., write ...)`` form, which can express
+every ordered access list.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import List
+
+from ..isl.constraints import EQ
+from ..isl.qpoly import QPoly
+from ..scop.scop import Scop, Statement
+
+__all__ = ["UnparseError", "unparse"]
+
+
+class UnparseError(ValueError):
+    """The scop uses a feature the kernel DSL cannot express.
+
+    Raised for quasi-affine index expressions (floor divisions), fractional
+    coefficients, non-affine polynomials, or names that are not valid DSL
+    identifiers.  Builder- and frontend-produced scops never trigger this.
+    """
+
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+def _check_identifier(name: str, what: str) -> str:
+    from .parser import RESERVED_WORDS
+
+    if not _IDENT_RE.match(name):
+        raise UnparseError(f"{what} {name!r} is not a valid DSL identifier")
+    if name in RESERVED_WORDS:
+        raise UnparseError(f"{what} {name!r} is a reserved word in the DSL")
+    return name
+
+
+def _render_affine(poly: QPoly, what: str) -> str:
+    """An affine :class:`QPoly` as DSL expression text (re-parses identically)."""
+    items = poly._canonical_items()
+    if not items:
+        return "0"
+    parts: List[str] = []
+    for monomial, coeff in items:
+        if not isinstance(coeff, Fraction) or coeff.denominator != 1:
+            raise UnparseError(
+                f"{what} has a fractional coefficient ({coeff}), which the "
+                "DSL cannot express"
+            )
+        magnitude = abs(coeff.numerator)
+        if monomial == ():
+            term = str(magnitude)
+        else:
+            if len(monomial) != 1 or monomial[0][1] != 1:
+                raise UnparseError(f"{what} is not affine: {poly}")
+            symbol = monomial[0][0]
+            if not isinstance(symbol, str):
+                raise UnparseError(
+                    f"{what} contains a floor division ({symbol!r}); "
+                    "quasi-affine expressions are outside the DSL"
+                )
+            _check_identifier(symbol, f"variable in {what}")
+            term = symbol if magnitude == 1 else f"{magnitude}*{symbol}"
+        if not parts:
+            parts.append(f"-{term}" if coeff < 0 else term)
+        else:
+            parts.append(f"- {term}" if coeff < 0 else f"+ {term}")
+    return " ".join(parts)
+
+
+def _render_kernel_name(name: str) -> str:
+    if _IDENT_RE.match(name):
+        from .parser import RESERVED_WORDS
+
+        if name not in RESERVED_WORDS:
+            return f"kernel {name}"
+    if '"' in name or "\n" in name or not name:
+        raise UnparseError(f"kernel name {name!r} cannot be quoted in the DSL")
+    return f'kernel "{name}"'
+
+
+def _render_statement(statement: Statement) -> List[str]:
+    name = _check_identifier(statement.name, "statement name")
+    for variable in statement.loop_vars:
+        _check_identifier(variable, f"loop variable of statement {name!r}")
+    head = f"{name}: {{ [{', '.join(statement.loop_vars)}]"
+    clauses = []
+    for constraint in statement.domain.constraints:
+        expr = _render_affine(
+            constraint.expr, f"constraint of statement {name!r}"
+        )
+        op = "==" if constraint.kind == EQ else ">="
+        clauses.append(f"{expr} {op} 0")
+    if clauses:
+        head += " : " + " and ".join(clauses)
+    head += " }"
+    lines = [head]
+    entries = []
+    for entry in statement.schedule:
+        if isinstance(entry, int):
+            entries.append(str(entry))
+        else:
+            entries.append(_check_identifier(entry, f"schedule entry of {name!r}"))
+    lines.append(f"    schedule [{', '.join(entries)}]")
+    lines.append(f"    {_render_body(statement)}")
+    return lines
+
+
+def _render_body(statement: Statement) -> str:
+    accesses = statement.accesses
+    rendered = [
+        (
+            _check_identifier(ref.array.name, "array name")
+            + "".join(
+                f"[{_render_affine(index, f'index of access to {ref.array.name!r}')}]"
+                for index in ref.indices
+            ),
+            ref.is_write,
+        )
+        for ref in accesses
+    ]
+    if not rendered:
+        return "access()"
+    # Sugar applies iff the list is "only reads, then exactly one write":
+    # the sugar's desugaring reproduces that order verbatim.
+    if rendered[-1][1] and not any(is_write for _, is_write in rendered[:-1]):
+        reads = [text for text, _ in rendered[:-1]]
+        rhs = " * ".join(reads) if reads else "0"
+        return f"{rendered[-1][0]} = {rhs}"
+    parts = [
+        f"{'write' if is_write else 'read'} {text}" for text, is_write in rendered
+    ]
+    return f"access({', '.join(parts)})"
+
+
+def unparse(scop: Scop, *, dataset: str = "mini") -> str:
+    """Render ``scop`` as kernel DSL text (see the round-trip contract above).
+
+    ``dataset`` names the single emitted dataset block, which carries the
+    scop's ``context`` parameters; with an empty context no block is emitted
+    and parsing falls back to an empty default ``mini`` dataset.
+    """
+    lines: List[str] = [_render_kernel_name(scop.name), ""]
+    if scop.context:
+        bindings = ", ".join(
+            f"{_check_identifier(name, 'size parameter')} = {int(value)}"
+            for name, value in scop.context.items()
+        )
+        _check_identifier(dataset, "dataset name")
+        lines.append(f"dataset {dataset} {{ {bindings} }}")
+        lines.append("")
+    for array in scop.arrays.values():
+        decl = "array " + _check_identifier(array.name, "array name")
+        decl += "".join(f"[{extent}]" for extent in array.shape)
+        if array.element_size != 8:
+            decl += f" elem {array.element_size}"
+        lines.append(decl)
+    if scop.arrays:
+        lines.append("")
+    for statement in scop.statements:
+        lines.extend(_render_statement(statement))
+        lines.append("")
+    return "\n".join(lines)

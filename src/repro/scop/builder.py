@@ -100,12 +100,27 @@ class ScopBuilder:
     # Declarations
     # ------------------------------------------------------------------
     def array(self, name: str, shape: Sequence[int], *, element_size: Optional[int] = None) -> ArrayHandle:
+        """Declare an array and return its subscriptable handle.
+
+        ``shape`` lists concrete extents outermost-first; ``element_size``
+        (bytes) defaults to the builder-wide setting (8, a C ``double``).
+        Declaration order is preserved in :attr:`Scop.arrays` — and therefore
+        in the structural store fingerprint and in the output of
+        :func:`repro.frontend.unparse` — so declare arrays in a stable order
+        when digest stability matters.  Equivalent to an ``array`` directive
+        in the kernel DSL (docs/KERNEL_DSL.md, "Arrays").
+        """
         array = Array(name, tuple(int(extent) for extent in shape), element_size or self._element_size)
         self._scop.add_array(array)
         return ArrayHandle(array)
 
     def v(self, name: str) -> QPoly:
-        """The affine expression for loop variable ``name``."""
+        """The affine expression for loop variable ``name``.
+
+        Only variables of currently open :meth:`loop` blocks are in scope
+        (``KeyError`` otherwise), which catches index typos at build time
+        rather than as silently-symbolic analysis inputs.
+        """
         if all(frame.var != name for frame in self._loop_stack):
             raise KeyError(f"loop variable {name!r} is not in scope")
         return QPoly.variable(name)
@@ -119,6 +134,20 @@ class ScopBuilder:
 
         ``upper_inclusive=True`` switches to ``var <= upper`` which is
         convenient for triangular bounds such as ``j <= i``.
+
+        **Domain contract.**  Each enclosing loop contributes exactly two
+        normal-form constraints to every statement built inside it —
+        ``var - lower >= 0`` then ``upper' - var >= 0`` (``upper'`` the
+        inclusive bound) — in loop-nesting order.  The kernel DSL's chained
+        comparison ``lower <= var < upper`` desugars to the same two
+        constraints in the same order (docs/KERNEL_DSL.md, "Iteration
+        domains"), which is what makes builder and frontend scops
+        byte-identical.
+
+        **Schedule-position contract.**  Closing the loop bumps the static
+        position counter of the surrounding scope, so a sibling statement or
+        loop that follows textually is ordered after everything inside this
+        loop.  See :meth:`stmt` for the full schedule layout.
         """
         if any(frame.var == var for frame in self._loop_stack):
             raise ValueError(f"loop variable {var!r} already in scope")
@@ -156,9 +185,25 @@ class ScopBuilder:
     ) -> Statement:
         """Add a statement; accesses execute reads first, then writes.
 
-        This matches the paper's convention of counting array accesses "in the
-        order provided by the compiler front end" for a load/compute/store
-        statement body.
+        **Access-ordering contract.**  The statement's ordered access list is
+        ``reads`` in the given order followed by ``writes`` in the given
+        order.  This matches the paper's convention of counting array
+        accesses "in the order provided by the compiler front end" for a
+        load/compute/store statement body, and it is the order the kernel
+        DSL's assignment sugar desugars to (operand reads left-to-right, the
+        accumulator read for ``op=`` forms, then the write — see
+        docs/KERNEL_DSL.md, "Statement bodies").  Per-access results and the
+        structural store digest both depend on this order.
+
+        **Schedule-position contract.**  The statement's schedule is the
+        ``2d+1`` interleaving ``[p0, var_1, p1, ..., var_d, pd]``: ``p0`` is
+        the current top-level position, ``p_k`` the static position inside
+        loop ``k``, and ``pd`` the statement's position in its innermost
+        loop.  Position counters start at 0 and bump after every statement
+        or closed loop in the same scope, so textual order is execution
+        order.  A statement outside all loops gets the depth-0 schedule
+        ``[p, p]``.  The DSL's ``schedule [...]`` directive states this
+        vector explicitly (docs/KERNEL_DSL.md, "Schedules").
         """
         if name is None:
             name = f"S{self._statement_counter}"
@@ -196,6 +241,15 @@ class ScopBuilder:
     # Finalisation
     # ------------------------------------------------------------------
     def build(self) -> Scop:
+        """Return the finished :class:`Scop` (all loops must be closed).
+
+        The scop carries arrays in declaration order and statements in
+        textual order; the builder keeps no copy, so mutating the returned
+        object affects no later build.  Any scop produced here can be
+        rendered to kernel DSL text with :func:`repro.frontend.unparse` and
+        parsed back to an identical analysis input (docs/KERNEL_DSL.md,
+        "Round-tripping").
+        """
         if self._loop_stack:
             raise RuntimeError("cannot build a SCoP while loops are still open")
         return self._scop

@@ -1,6 +1,7 @@
 """End-to-end tests of the ``repro-haystack`` command line interface."""
 
 import json
+from pathlib import Path
 
 from repro.cli import main
 from repro.core.results import ModelResult
@@ -177,3 +178,66 @@ class TestStoreFlags:
         out = capsys.readouterr().out
         assert "L2" in out
         assert "result served from store" not in out
+
+
+class TestAnalyze:
+    GEMM_KNL = str(Path(__file__).resolve().parent.parent / "examples" / "kernels" / "gemm.knl")
+
+    def test_analyze_golden_gemm(self, capsys):
+        assert main(["analyze", self.GEMM_KNL, *FAST, "--no-store"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm (mini)" in out
+        assert "L1" in out
+
+    def test_analyze_explicit_dataset(self, capsys):
+        rc = main(["analyze", self.GEMM_KNL, "--dataset", "small", *FAST, "--no-store"])
+        assert rc == 0
+        assert "gemm (small)" in capsys.readouterr().out
+
+    def test_analyze_curve_json(self, capsys):
+        rc = main(
+            ["analyze", self.GEMM_KNL, "--curve", "--sweep", "256:4096:4",
+             "--json", *FAST, "--no-store"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel"] == "gemm"
+        assert len(payload["sweep"]) >= 4
+
+    def test_analyze_compare(self, capsys):
+        rc = main(["analyze", self.GEMM_KNL, "--compare", *FAST, "--no-store"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "model vs. simulation" in out
+
+    def test_analyze_matches_registered_kernel_table(self, capsys):
+        # The .knl port and the registered builder kernel must render the
+        # exact same table -- same misses, same fallback flags.
+        assert main(["analyze", self.GEMM_KNL, *FAST, "--no-store"]) == 0
+        from_file = capsys.readouterr().out
+        assert main(["model", "gemm", "--dataset", "mini", *FAST, "--no-store"]) == 0
+        from_registry = capsys.readouterr().out
+        def strip(text):
+            # The footer embeds wall-clock time; everything else must match.
+            return [line for line in text.splitlines() if "model time" not in line]
+
+        assert strip(from_file) == strip(from_registry)
+
+    def test_analyze_parse_error_has_caret_and_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.knl"
+        bad.write_text("kernel bad\narray A[8]\nS0: { [i] 0 <= i < 8 }\n    A[i] = 0\n")
+        assert main(["analyze", str(bad), *FAST, "--no-store"]) == 2
+        err = capsys.readouterr().err
+        assert f"{bad}:3:11:" in err
+        assert "^" in err
+        assert "Traceback" not in err
+
+    def test_analyze_missing_file_exit_2(self, capsys):
+        assert main(["analyze", "no/such/file.knl", *FAST, "--no-store"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_analyze_flag_guards(self, capsys):
+        assert main(["analyze", self.GEMM_KNL, "--curve", "--compare"]) == 2
+        assert main(["analyze", self.GEMM_KNL, "--json"]) == 2
+        assert main(["analyze", self.GEMM_KNL, "--sweep", "1K:8M"]) == 2
+        capsys.readouterr()

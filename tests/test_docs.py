@@ -30,6 +30,7 @@ def test_repository_docs_are_clean():
 def test_checked_files_include_both_docs():
     assert "docs/ARCHITECTURE.md" in check_docs.CHECKED_FILES
     assert "docs/PERFORMANCE.md" in check_docs.CHECKED_FILES
+    assert "docs/KERNEL_DSL.md" in check_docs.CHECKED_FILES
     assert "README.md" in check_docs.CHECKED_FILES
 
 
@@ -63,3 +64,54 @@ def test_external_links_and_anchors_are_skipped(tmp_path):
     doc = tmp_path / "doc.md"
     doc.write_text("[a](https://example.com) [b](#section) [c](mailto:x@y.z)\n")
     assert check_docs.check_file(doc, tmp_path) == []
+
+
+_VALID_KNL = """\
+```knl
+kernel ok
+dataset mini { N = 8 }
+array A[N]
+S0: { [i] : 0 <= i < N }
+    A[i] += A[i]
+```
+"""
+
+
+def test_valid_knl_block_passes(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("# t\n\n" + _VALID_KNL)
+    assert check_docs.check_file(doc, tmp_path) == []
+
+
+def test_knl_syntax_error_is_reported_with_line(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "# t\n\n```knl\nkernel bad\narray A[8]\nS0: { [i] 0 <= i < 8 }\n    A[i] = 0\n```\n"
+    )
+    problems = check_docs.check_file(doc, tmp_path)
+    assert len(problems) == 1
+    # The ':' is missing on line 6 of the markdown file.
+    assert "invalid knl block 1 (line 6)" in problems[0]
+
+
+def test_knl_instantiation_error_is_reported(tmp_path):
+    # Parses fine, but N is bound by no dataset: the block must still fail.
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "# t\n\n```knl\nkernel bad\narray A[N]\nS0: { [i] : 0 <= i < N }\n    A[i] = 0\n```\n"
+    )
+    problems = check_docs.check_file(doc, tmp_path)
+    assert len(problems) == 1
+    assert "unbound parameter" in problems[0]
+
+
+def test_knl_blocks_check_every_dataset(tmp_path):
+    # The first dataset instantiates, the second leaves M unbound.
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "# t\n\n```knl\nkernel bad\ndataset a { N = 4, M = 4 }\ndataset b { N = 4 }\n"
+        "array A[N][M]\nS0: { [i] : 0 <= i < N }\n    A[i][0] = 0\n```\n"
+    )
+    problems = check_docs.check_file(doc, tmp_path)
+    assert len(problems) == 1
+    assert "unbound parameter" in problems[0]

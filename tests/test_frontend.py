@@ -1,0 +1,492 @@
+"""The kernel DSL frontend: parsing, desugaring, errors, and round-trips.
+
+Three layers of guarantees:
+
+* **fidelity** — a hand-written `.knl` port of a builder kernel produces a
+  *structurally identical* scop (same constraint lists, schedules, ordered
+  accesses), not merely an equivalent one;
+* **located errors** — every failure is a ``KernelParseError`` carrying
+  ``file:line:col`` and a caret snippet, asserted down to the column;
+* **round-trip** — ``parse(unparse(scop))`` reproduces the scop for random
+  builder programs (hypothesis), including the full analysis payload.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import Session
+from repro.api.registry import get_kernel
+from repro.core import CacheLevelSpec, MachineModel
+from repro.frontend import (
+    KernelParseError,
+    parse_domain,
+    parse_kernel,
+    parse_kernel_path,
+    register_kernel_file,
+    unparse,
+)
+from repro.isl.constraints import EQ, INEQ
+from repro.reporting.equivalence import normalize
+from repro.isl.qpoly import QPoly
+from repro.scop.builder import ScopBuilder
+from repro.scop.polybench.linear_algebra import gemm
+from repro.scop.polybench.sizes import kernel_sizes
+
+
+SMALL_MACHINE = MachineModel(line_size=64, levels=(CacheLevelSpec(1024, "L1"),))
+
+
+def scop_fingerprint(scop):
+    """Full structural identity: everything the analysis (and digest) sees."""
+    return (
+        [(a.name, a.shape, a.element_size) for a in scop.arrays.values()],
+        [
+            (
+                s.name,
+                s.loop_vars,
+                s.schedule,
+                tuple((c.kind, c.expr._canonical_items()) for c in s.domain.constraints),
+                tuple(
+                    (r.array.name, tuple(i._canonical_items() for i in r.indices), r.is_write)
+                    for r in s.accesses
+                ),
+            )
+            for s in scop.statements
+        ],
+    )
+
+
+def analysis_payload(scop, budget=500):
+    session = Session().machine(SMALL_MACHINE).budget(budget)
+    return normalize(session.cache_model().analyze(scop).to_dict())
+
+
+def parse_error(text):
+    with pytest.raises(KernelParseError) as info:
+        program = parse_kernel(text)
+        program.instantiate(program.dataset_sizes(next(iter(program.datasets))))
+    return info.value
+
+
+# ----------------------------------------------------------------------
+# Domains
+# ----------------------------------------------------------------------
+class TestParseDomain:
+    def test_chained_comparisons_desugar_pairwise(self):
+        variables, system = parse_domain("{ [i] : 0 <= i < 10 }")
+        assert variables == ("i",)
+        kinds = [c.kind for c in system.constraints]
+        assert kinds == [INEQ, INEQ]
+        # i >= 0 and 9 - i >= 0: the builder's half-open normal form.
+        assert system.constraints[0].expr.coefficient("i") == 1
+        assert system.constraints[1].expr.coefficient("i") == -1
+        assert system.constraints[1].expr.constant_value() == 9
+
+    def test_matches_builder_loop_constraints(self):
+        b = ScopBuilder("t")
+        A = b.array("A", (10,))
+        with b.loop("i", 0, 10):
+            b.stmt(writes=[A[b.v("i")]])
+        built = b.build().statements[0].domain.constraints
+        _, system = parse_domain("{ [i] : 0 <= i < 10 }")
+        assert [(c.kind, c.expr._canonical_items()) for c in system.constraints] == [
+            (c.kind, c.expr._canonical_items()) for c in built
+        ]
+
+    def test_equality_and_parameters(self):
+        variables, system = parse_domain("{ [i, j] : i == j and 0 <= i < N }")
+        assert variables == ("i", "j")
+        assert system.constraints[0].kind == EQ
+        assert "N" in system.constraints[2].expr.free_variables()
+
+    def test_empty_variable_list_and_no_constraints(self):
+        variables, system = parse_domain("{ [] }")
+        assert variables == () and system.constraints == []
+        variables, system = parse_domain("{ [i] }")
+        assert variables == ("i",) and system.constraints == []
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(KernelParseError, match="duplicate loop variable 'i'"):
+            parse_domain("{ [i, i] : 0 <= i < 4 }")
+
+    def test_division_rejected(self):
+        with pytest.raises(KernelParseError, match="division is not allowed"):
+            parse_domain("{ [i] : 0 <= i / 2 < 4 }")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(KernelParseError, match="trailing input"):
+            parse_domain("{ [i] : 0 <= i < 4 } garbage")
+
+
+# ----------------------------------------------------------------------
+# Statement bodies: desugaring
+# ----------------------------------------------------------------------
+def single_statement(body, *, arrays="array A[8]\narray B[8]\narray C[8]"):
+    text = f"kernel t\n{arrays}\nS0: {{ [i] : 0 <= i < 8 }}\n    {body}\n"
+    program = parse_kernel(text)
+    return program.instantiate({}).statements[0]
+
+
+class TestBodyDesugaring:
+    def test_plain_assignment_reads_then_write(self):
+        s = single_statement("C[i] = A[i] + B[i]")
+        assert [(r.array.name, r.is_write) for r in s.accesses] == [
+            ("A", False), ("B", False), ("C", True),
+        ]
+
+    def test_augmented_assignment_reads_operands_then_accumulator(self):
+        s = single_statement("C[i] += A[i] * B[i]")
+        assert [(r.array.name, r.is_write) for r in s.accesses] == [
+            ("A", False), ("B", False), ("C", False), ("C", True),
+        ]
+
+    @pytest.mark.parametrize("op", ["-=", "*=", "/="])
+    def test_all_augmented_ops_desugar_alike(self, op):
+        s = single_statement(f"C[i] {op} A[i]")
+        assert [(r.array.name, r.is_write) for r in s.accesses] == [
+            ("A", False), ("C", False), ("C", True),
+        ]
+
+    def test_scalars_and_literals_carry_no_accesses(self):
+        s = single_statement("C[i] = alpha * A[i] + 2 * beta")
+        assert [(r.array.name, r.is_write) for r in s.accesses] == [
+            ("A", False), ("C", True),
+        ]
+
+    def test_reads_collected_left_to_right_through_parens(self):
+        s = single_statement("C[i] = c * (B[i] + A[i]) - A[i + 1]")
+        assert [(r.array.name, r.is_write) for r in s.accesses] == [
+            ("B", False), ("A", False), ("A", False), ("C", True),
+        ]
+        assert s.accesses[2].indices[0].constant_value() == 1
+
+    def test_explicit_access_list_preserved_verbatim(self):
+        s = single_statement("access(read C[i], write A[i], read B[i], write C[i])")
+        assert [(r.array.name, r.is_write) for r in s.accesses] == [
+            ("C", False), ("A", True), ("B", False), ("C", True),
+        ]
+
+    def test_empty_access_list(self):
+        assert single_statement("access()").accesses == []
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+class TestSchedules:
+    def test_default_schedule_gives_each_statement_its_own_nest(self):
+        text = (
+            "kernel t\narray A[4]\n"
+            "S0: { [i] : 0 <= i < 4 }\n    A[i] = 0\n"
+            "S1: { [i, j] : 0 <= i < 4 and 0 <= j < 4 }\n    A[i] = A[j]\n"
+        )
+        scop = parse_kernel(text).instantiate({})
+        assert scop.statements[0].schedule == (0, "i", 0)
+        assert scop.statements[1].schedule == (1, "i", 0, "j", 0)
+
+    def test_depth_zero_default_schedule(self):
+        text = "kernel t\narray A[4]\nS0: { [] }\n    A[0] = 0\n"
+        assert parse_kernel(text).instantiate({}).statements[0].schedule == (0, 0)
+
+    def test_explicit_schedule_kept(self):
+        text = "kernel t\narray A[8]\nS0: { [i] : 0 <= i < 8 }\n    schedule [3, i, 7]\n    A[i] = 0\n"
+        assert parse_kernel(text).instantiate({}).statements[0].schedule == (3, "i", 7)
+
+    def test_schedule_unknown_variable_rejected(self):
+        err = parse_error(
+            "kernel t\narray A[8]\nS0: { [i] : 0 <= i < 8 }\n    schedule [0, j, 0]\n    A[i] = 0\n"
+        )
+        assert "not a loop variable" in err.message
+
+    def test_schedule_wrong_order_rejected(self):
+        err = parse_error(
+            "kernel t\narray A[8]\n"
+            "S0: { [i, j] : 0 <= i < 8 and 0 <= j < 8 }\n"
+            "    schedule [0, j, 0, i, 0]\n    A[i] = A[j]\n"
+        )
+        assert "domain order" in err.message
+
+    def test_schedule_adjacent_variables_rejected(self):
+        err = parse_error(
+            "kernel t\narray A[8]\n"
+            "S0: { [i, j] : 0 <= i < 8 and 0 <= j < 8 }\n"
+            "    schedule [0, i, j, 0]\n    A[i] = A[j]\n"
+        )
+        assert "static position" in err.message
+
+
+# ----------------------------------------------------------------------
+# Located errors
+# ----------------------------------------------------------------------
+class TestErrorLocations:
+    def test_unexpected_character_with_position(self):
+        err = parse_error("kernel t\narray A[4]\nS0: { [i] : 0 <= i < 4 }\n    A[i] = $\n")
+        assert (err.line, err.col) == (4, 12)
+        assert "unexpected character" in err.message
+
+    def test_render_includes_caret_under_column(self):
+        err = parse_error("kernel t\narray A[4]\nS0: { [i] 0 <= i < 4 }\n    A[i] = 0\n")
+        rendered = err.render().split("\n")
+        assert rendered[0].startswith("<kernel>:3:11:")
+        assert rendered[1] == "    S0: { [i] 0 <= i < 4 }"
+        assert rendered[2] == "    " + " " * 10 + "^"
+
+    def test_missing_kernel_header(self):
+        assert "must start with 'kernel" in parse_error("array A[4]\n").message
+
+    def test_unterminated_string(self):
+        assert "unterminated string" in parse_error('kernel "broken\n').message
+
+    def test_duplicate_statement_name(self):
+        err = parse_error(
+            "kernel t\narray A[4]\n"
+            "S0: { [i] : 0 <= i < 4 }\n    A[i] = 0\n"
+            "S0: { [i] : 0 <= i < 4 }\n    A[i] = 1\n"
+        )
+        assert "duplicate statement 'S0'" in err.message and err.line == 5
+
+    def test_duplicate_dataset_and_parameter(self):
+        assert "duplicate dataset" in parse_error(
+            "kernel t\ndataset a { N = 1 }\ndataset a { N = 2 }\narray A[4]\nS0: { [] }\n    A[0] = 0\n"
+        ).message
+        assert "duplicate parameter" in parse_error(
+            "kernel t\ndataset a { N = 1, N = 2 }\narray A[4]\nS0: { [] }\n    A[0] = 0\n"
+        ).message
+
+    def test_reserved_word_rejected_as_names(self):
+        assert "reserved word" in parse_error(
+            "kernel t\narray schedule[4]\nS0: { [] }\n    A[0] = 0\n"
+        ).message
+
+    def test_bare_scalar_assignment_target_rejected(self):
+        err = parse_error("kernel t\narray A[4]\nS0: { [i] : 0 <= i < 4 }\n    x = A[i]\n")
+        assert "register scalars" in err.message
+
+    def test_statement_required(self):
+        assert "defines no statements" in parse_error("kernel t\narray A[4]\n").message
+
+
+class TestInstantiationErrors:
+    def test_undeclared_array(self):
+        err = parse_error("kernel t\nS0: { [i] : 0 <= i < 4 }\n    A[i] = 0\n")
+        assert "array 'A' is not declared" in err.message
+
+    def test_rank_mismatch(self):
+        err = parse_error("kernel t\narray A[4][4]\nS0: { [i] : 0 <= i < 4 }\n    A[i] = 0\n")
+        assert "rank 2" in err.message
+
+    def test_unknown_name_lists_bound_parameters(self):
+        err = parse_error(
+            "kernel t\ndataset mini { N = 4 }\narray A[N]\nS0: { [i] : 0 <= i < N }\n    A[i] = A[j]\n"
+        )
+        assert "unknown name(s) j" in err.message and "N" in err.message
+
+    def test_nonaffine_index_after_substitution(self):
+        err = parse_error(
+            "kernel t\narray A[16]\nS0: { [i, j] : 0 <= i < 4 and 0 <= j < 4 }\n    A[i * j] = 0\n"
+        )
+        assert "not affine" in err.message
+
+    def test_parametric_product_becomes_affine(self):
+        # N*i is fine once N is concrete: row-major flattening by hand.
+        text = (
+            "kernel t\ndataset mini { N = 4 }\narray A[16]\n"
+            "S0: { [i, j] : 0 <= i < N and 0 <= j < N }\n    A[N * i + j] = 0\n"
+        )
+        scop = parse_kernel(text).instantiate({"N": 4})
+        index = scop.statements[0].accesses[0].indices[0]
+        assert index.coefficient("i") == 4 and index.coefficient("j") == 1
+
+    def test_nonpositive_extent(self):
+        err = parse_error(
+            "kernel t\ndataset mini { N = 0 }\narray A[N]\nS0: { [] }\n    A[0] = 0\n"
+        )
+        assert "positive integer" in err.message
+
+    def test_unknown_dataset_lists_available(self):
+        program = parse_kernel(
+            "kernel t\ndataset a { N = 4 }\narray A[N]\nS0: { [] }\n    A[0] = 0\n"
+        )
+        with pytest.raises(KernelParseError, match="available: a"):
+            program.dataset_sizes("b")
+
+    def test_loop_variable_shadows_parameter(self):
+        text = (
+            "kernel t\ndataset mini { i = 99, N = 4 }\narray A[4]\n"
+            "S0: { [i] : 0 <= i < N }\n    A[i] = 0\n"
+        )
+        scop = parse_kernel(text).instantiate({"i": 99, "N": 4})
+        # The access index is the loop variable, not the constant 99.
+        assert scop.statements[0].accesses[0].indices[0].coefficient("i") == 1
+
+
+# ----------------------------------------------------------------------
+# Fidelity against the builder and the registry
+# ----------------------------------------------------------------------
+GEMM_DSL = """
+kernel gemm
+dataset mini { NI = 10, NJ = 12, NK = 14 }
+array C[NI][NJ]
+array A[NI][NK]
+array B[NK][NJ]
+S0: { [i, j] : 0 <= i < NI and 0 <= j < NJ }
+    schedule [0, i, 0, j, 0]
+    C[i][j] *= beta
+S1: { [i, k, j] : 0 <= i < NI and 0 <= k < NK and 0 <= j < NJ }
+    schedule [0, i, 1, k, 0, j, 0]
+    C[i][j] += A[i][k] * B[k][j]
+"""
+
+
+class TestFidelity:
+    def test_handwritten_gemm_is_structurally_identical(self):
+        program = parse_kernel(GEMM_DSL)
+        mine = program.instantiate(program.dataset_sizes("mini"))
+        ref = gemm(kernel_sizes("mini", "gemm"))
+        assert scop_fingerprint(mine) == scop_fingerprint(ref)
+        assert mine.context == ref.context
+
+    def test_handwritten_gemm_payload_identical(self):
+        program = parse_kernel(GEMM_DSL)
+        mine = program.instantiate(program.dataset_sizes("mini"))
+        ref = gemm(kernel_sizes("mini", "gemm"))
+        assert analysis_payload(mine) == analysis_payload(ref)
+
+
+class TestUnparse:
+    @pytest.mark.parametrize("name", ["gemm", "trisolv", "jacobi-2d", "cholesky"])
+    def test_builtin_round_trip(self, name):
+        ref = get_kernel(name).build("mini")
+        text = unparse(ref)
+        program = parse_kernel(text)
+        again = program.instantiate(program.dataset_sizes("mini"))
+        assert scop_fingerprint(again) == scop_fingerprint(ref)
+
+    def test_unparse_is_a_fixpoint(self):
+        ref = get_kernel("trisolv").build("mini")
+        text = unparse(ref)
+        program = parse_kernel(text)
+        again = program.instantiate(program.dataset_sizes("mini"))
+        assert unparse(again) == text
+
+
+# ----------------------------------------------------------------------
+# Round-trip fuzz: random builder programs survive unparse -> parse
+# ----------------------------------------------------------------------
+@st.composite
+def builder_programs(draw):
+    """A small random ScopBuilder program with in-bounds affine accesses."""
+    b = ScopBuilder("fuzz")
+    array_count = draw(st.integers(min_value=1, max_value=2))
+    extent = draw(st.integers(min_value=4, max_value=12))
+    depth_budget = 16  # extents comfortably above any |index| we generate
+    arrays = [
+        b.array(f"A{n}", (extent + depth_budget,), element_size=draw(st.sampled_from([4, 8])))
+        for n in range(array_count)
+    ]
+    depth = draw(st.integers(min_value=1, max_value=3))
+
+    def index_expr(scope):
+        # offset + sum of at most two in-scope variables: always in bounds.
+        expr = QPoly.constant(draw(st.integers(min_value=0, max_value=3)))
+        for var in draw(st.lists(st.sampled_from(scope), max_size=2, unique=True)):
+            expr = expr + QPoly.variable(var)
+        return expr
+
+    def add_statement(scope):
+        array = draw(st.sampled_from(arrays))
+        reads = [
+            draw(st.sampled_from(arrays))[index_expr(scope)]
+            for _ in range(draw(st.integers(0, 2)))
+        ]
+        b.stmt(reads=reads, writes=[array[index_expr(scope)]])
+
+    with b.loop("i", 0, extent):
+        if depth == 1:
+            add_statement(["i"])
+            if draw(st.booleans()):
+                add_statement(["i"])
+        else:
+            with b.loop("j", 0, extent):
+                if depth == 2:
+                    add_statement(["i", "j"])
+                else:
+                    with b.loop("k", 0, extent):
+                        add_statement(["i", "j", "k"])
+            if draw(st.booleans()):
+                add_statement(["i"])
+    return b.build()
+
+
+@given(builder_programs())
+@settings(max_examples=20, deadline=None)
+def test_round_trip_fuzz_structural(scop):
+    text = unparse(scop)
+    program = parse_kernel(text)
+    again = program.instantiate(program.dataset_sizes("mini"))
+    assert scop_fingerprint(again) == scop_fingerprint(scop)
+
+
+@given(builder_programs())
+@settings(max_examples=8, deadline=None)
+def test_round_trip_fuzz_payload(scop):
+    text = unparse(scop)
+    program = parse_kernel(text)
+    again = program.instantiate(program.dataset_sizes("mini"))
+    assert analysis_payload(again, budget=300) == analysis_payload(scop, budget=300)
+
+
+# ----------------------------------------------------------------------
+# Registration and the fluent API
+# ----------------------------------------------------------------------
+def write_kernel(tmp_path, name):
+    path = tmp_path / f"{name}.knl"
+    text = (
+        f"kernel {name}\n"
+        "dataset mini { N = 48 }\n"
+        "dataset big { N = 96 }\n"
+        "array x[N]\narray y[N]\n"
+        "S0: { [i] : 0 <= i < N }\n    y[i] += a * x[i]\n"
+    )
+    path.write_text(text)
+    return path
+
+
+class TestRegistration:
+    def test_register_kernel_file_source_and_datasets(self, tmp_path):
+        path = write_kernel(tmp_path, "frontend_reg_test")
+        program = register_kernel_file(path)
+        assert program.name == "frontend_reg_test"
+        entry = get_kernel("frontend_reg_test")
+        assert entry.source == f"file:{path.name}"
+        assert list(entry.datasets) == ["mini", "big"]
+        scop = entry.build("big")
+        assert scop.arrays["x"].shape == (96,)
+
+    def test_parse_kernel_path_reads_utf8(self, tmp_path):
+        path = write_kernel(tmp_path, "frontend_path_test")
+        assert parse_kernel_path(path).name == "frontend_path_test"
+
+    def test_session_kernel_file_runs(self, tmp_path):
+        path = write_kernel(tmp_path, "frontend_session_test")
+        batch = (
+            Session().machine(SMALL_MACHINE).budget(300)
+            .kernel_file(path).datasets("mini").run()
+        )
+        record = batch.records[0]
+        assert record.status == "ok"
+        assert record.kernel == "frontend_session_test"
+
+    def test_session_kernel_file_multiworker_identical(self, tmp_path):
+        # File kernels are invisible to spawn-started workers unless the spec
+        # ships the built scop; this exercises that path end to end.
+        path = write_kernel(tmp_path, "frontend_workers_test")
+        runs = []
+        for workers in (1, 2):
+            batch = (
+                Session().machine(SMALL_MACHINE).budget(300).workers(workers)
+                .kernel_file(path).datasets("mini").run()
+            )
+            assert batch.records[0].status == "ok"
+            runs.append(normalize(batch.records[0].result.to_dict()))
+        assert runs[0] == runs[1]

@@ -1,0 +1,55 @@
+"""Golden kernel files: the `.knl` ports under ``examples/kernels/`` are
+byte-for-byte faithful to their registered PolyBench twins.
+
+For every golden file and every dataset it declares, instantiation must
+produce a scop *structurally identical* to the registry's builder version —
+same arrays, constraint normal forms, schedules, and ordered accesses — and
+the analysis payload (modulo wall-clock fields, via
+``repro.reporting.equivalence.normalize``) must match exactly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api.registry import get_kernel
+from repro.frontend import parse_kernel_path
+
+from test_frontend import analysis_payload, scop_fingerprint
+
+KERNEL_DIR = Path(__file__).resolve().parent.parent / "examples" / "kernels"
+GOLDEN = ["gemm", "trisolv", "jacobi-2d"]
+
+
+def golden_program(name):
+    return parse_kernel_path(KERNEL_DIR / f"{name}.knl")
+
+
+def test_every_golden_file_is_covered():
+    on_disk = sorted(p.stem for p in KERNEL_DIR.glob("*.knl"))
+    assert on_disk == sorted(GOLDEN)
+
+
+@pytest.mark.parametrize("name", GOLDEN)
+def test_golden_declares_all_registry_datasets(name):
+    program = golden_program(name)
+    assert program.name == name
+    assert list(program.datasets) == list(get_kernel(name).datasets)
+
+
+@pytest.mark.parametrize("name", GOLDEN)
+@pytest.mark.parametrize("dataset", ["mini", "small", "medium", "large", "extralarge"])
+def test_golden_structurally_identical_to_registry(name, dataset):
+    program = golden_program(name)
+    mine = program.instantiate(program.dataset_sizes(dataset))
+    ref = get_kernel(name).build(dataset)
+    assert scop_fingerprint(mine) == scop_fingerprint(ref)
+    assert mine.context == ref.context
+
+
+@pytest.mark.parametrize("name", GOLDEN)
+def test_golden_analysis_payload_identical(name):
+    program = golden_program(name)
+    mine = program.instantiate(program.dataset_sizes("mini"))
+    ref = get_kernel(name).build("mini")
+    assert analysis_payload(mine, budget=2000) == analysis_payload(ref, budget=2000)

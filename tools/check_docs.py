@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Hard-fail consistency checks for the markdown documentation.
 
-Two guarantees, enforced in CI (the ``docs`` job) and in the tier-1 suite
+Three guarantees, enforced in CI (the ``docs`` job) and in the tier-1 suite
 (``tests/test_docs.py``):
 
 * every **relative link** in the checked markdown files points at a file or
@@ -9,7 +9,14 @@ Two guarantees, enforced in CI (the ``docs`` job) and in the tier-1 suite
 * every **code pointer** of the form ``path/to/file.py:Symbol`` (in
   backticks) resolves — the file exists and ``Symbol`` is a top-level
   class, function, or assignment in it, or a ``Class.method`` /
-  ``Class.attribute`` one level down.
+  ``Class.attribute`` one level down;
+* every **fenced ```knl code block** parses with the real kernel frontend
+  (``repro.frontend``) and instantiates at every dataset it declares, so the
+  language reference cannot drift from the implementation.
+
+The knl check imports ``repro.frontend`` from the in-repo ``src/`` tree; the
+frontend and its dependency chain are stdlib-only, so this works in the
+install-free docs CI job.
 
 Exit status 0 = clean, 1 = at least one broken link or pointer (each is
 printed on its own line).  Run it directly:
@@ -32,10 +39,58 @@ POINTER = re.compile(r"`([A-Za-z0-9_\-./]+\.py):([A-Za-z_][A-Za-z0-9_.]*)`")
 #: stripped, pure-anchor and external targets are skipped.
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
+#: Fenced ```knl code blocks; each must parse and instantiate cleanly.
+KNL_FENCE = re.compile(r"^```knl[ \t]*\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL)
+
 #: Markdown files checked, relative to the repository root.
-CHECKED_FILES = ("README.md", "docs/ARCHITECTURE.md", "docs/PERFORMANCE.md")
+CHECKED_FILES = ("README.md", "docs/ARCHITECTURE.md", "docs/PERFORMANCE.md", "docs/KERNEL_DSL.md")
 
 _EXTERNAL = ("http://", "https://", "mailto:")
+
+_FRONTEND = None
+
+
+def _load_frontend():
+    """Import the real kernel frontend from the in-repo ``src/`` tree.
+
+    Cached after the first call; inserted at the front of ``sys.path`` so the
+    checker validates the checked-out frontend even when another repro
+    installation is importable.
+    """
+    global _FRONTEND
+    if _FRONTEND is None:
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        if src not in sys.path:
+            sys.path.insert(0, src)
+        from repro import frontend
+
+        _FRONTEND = frontend
+    return _FRONTEND
+
+
+def check_knl_blocks(doc: Path, root: Path) -> List[str]:
+    """Parse every fenced knl block of one markdown file with the frontend.
+
+    A block must parse *and* instantiate at each of its dataset blocks —
+    an example that names an unbound parameter or a misshapen access is as
+    wrong as one with a syntax error.  Reported line numbers are absolute
+    positions in the markdown file.
+    """
+    problems: List[str] = []
+    text = doc.read_text(encoding="utf-8")
+    rel = doc.relative_to(root)
+    frontend = _load_frontend()
+    for number, match in enumerate(KNL_FENCE.finditer(text), start=1):
+        block = match.group(1)
+        offset = text[: match.start(1)].count("\n")
+        try:
+            program = frontend.parse_kernel(block, str(rel))
+            for dataset in program.datasets:
+                program.instantiate(program.dataset_sizes(dataset))
+        except frontend.KernelParseError as exc:
+            line = offset + (exc.line or 1)
+            problems.append(f"{rel}: invalid knl block {number} (line {line}): {exc.message}")
+    return problems
 
 
 def module_symbols(path: Path) -> Set[str]:
@@ -92,6 +147,8 @@ def check_file(doc: Path, root: Path) -> List[str]:
             continue
         if symbol not in module_symbols(source):
             problems.append(f"{rel}: unresolved symbol -> {file_part}:{symbol}")
+
+    problems.extend(check_knl_blocks(doc, root))
     return problems
 
 
