@@ -88,10 +88,15 @@ class Session:
         from ..simulator.vectorized import validate_backend_env
 
         # A bad $REPRO_BACKEND would otherwise leak through backend="auto"
-        # into a deep ValueError at trace-fallback time; fail at session
+        # into a deep ValueError at trace-fallback time, and a bad
+        # $REPRO_STORE_PATH / $REPRO_STORE_BACKEND into a failure (or a
+        # silently disabled store) mid-analysis; fail at session
         # construction instead, with the offending value named.
+        from ..engine.store import validate_store_env
+
         try:
             validate_backend_env()
+            validate_store_env()
         except ValueError as exc:
             raise SessionConfigError(str(exc)) from None
         self._registry = registry
@@ -214,7 +219,7 @@ class Session:
         self._piece_workers = count
         return self
 
-    def store(self, path=_USE_DEFAULT_STORE) -> "Session":
+    def store(self, path=_USE_DEFAULT_STORE, *, backend: Optional[str] = None) -> "Session":
         """Enable the persistent analysis store.
 
         ``store()`` uses the default path (``$REPRO_STORE_PATH`` or the user
@@ -222,13 +227,26 @@ class Session:
         ``store(None)`` disables the store — so configuration values of the
         form ``store_path or None`` pass through with their old
         ``run_batch``/``BatchEngine`` meaning intact.
-        """
-        if path is _USE_DEFAULT_STORE:
-            from ..engine.store import default_store_path
 
-            self._store_path = default_store_path()
-        else:
-            self._store_path = str(path) if path is not None else None
+        ``backend`` selects the storage backend (``"dir"`` / ``"sqlite"``;
+        default: ``$REPRO_STORE_BACKEND`` or the directory backend).  The
+        location is validated eagerly — a path that exists with the wrong
+        type or an unwritable parent raises here, at the call site, instead
+        of disabling the store deep inside a worker.  The stored path is a
+        normalized ``backend:path`` spec, so workers and the server open the
+        same backend with no extra plumbing.
+        """
+        from ..engine.store import default_store_path, validate_store_path
+
+        if path is _USE_DEFAULT_STORE:
+            path = default_store_path()
+        elif path is None:
+            self._store_path = None
+            return self
+        try:
+            self._store_path = validate_store_path(str(path), backend)
+        except ValueError as exc:
+            raise SessionConfigError(str(exc)) from None
         return self
 
     def no_store(self) -> "Session":

@@ -35,7 +35,14 @@ from .core import CacheLevelSpec, MachineModel
 from .core.budget import BudgetExhausted
 from .core.prevmap import ModelFallbackRequired
 from .core.results import ModelResult
-from .engine.store import default_store_path, job_digest
+from .engine.store import (
+    BACKEND_NAMES,
+    default_store_path,
+    job_digest,
+    make_store_spec,
+    validate_store_env,
+    validate_store_path,
+)
 from .frontend import KernelParseError, parse_kernel_path
 from .reporting import format_batch_summary, format_miss_curve, format_table
 from .reporting.bench import (
@@ -202,10 +209,16 @@ def _machine_from_args(args) -> MachineModel:
 
 
 def _store_path(args) -> Optional[str]:
-    """Resolved store root: ``--no-store`` disables, ``--store-path`` overrides."""
+    """Resolved store spec: ``--no-store`` disables, ``--store-path`` overrides.
+
+    The returned string carries the backend choice (``--store-backend`` /
+    ``$REPRO_STORE_BACKEND``) as a ``backend:path`` spec, so it flows through
+    sessions, pool workers, and the server unchanged.
+    """
     if args.no_store:
         return None
-    return args.store_path or default_store_path()
+    path = args.store_path or default_store_path()
+    return make_store_spec(path, getattr(args, "store_backend", None))
 
 
 def _session_from_args(args, machine: MachineModel) -> Session:
@@ -379,6 +392,14 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-store",
         action="store_true",
         help="disable the persistent analysis store for this run",
+    )
+    parser.add_argument(
+        "--store-backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="store backend: 'dir' (one file per entry, the default) or "
+        "'sqlite' (one WAL-mode database; safe for many server workers); "
+        "default: $REPRO_STORE_BACKEND or dir",
     )
 
 
@@ -571,15 +592,67 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_store_arguments(bench_parser)
     _add_backend_argument(bench_parser)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the analysis HTTP service (endpoints: /healthz, /stats, "
+        "/v1/analyze, /v1/batch; see docs/SERVER.md)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=8157,
+        help="TCP port; 0 picks an ephemeral port (default: 8157)",
+    )
+    serve_parser.add_argument(
+        "--port-file",
+        metavar="FILE",
+        default=None,
+        help="write the bound port to FILE once listening (ephemeral-port discovery)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=2,
+        metavar="N",
+        help="engine worker processes (0 = run jobs on server threads; default: 2)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=8,
+        metavar="N",
+        help="admission cap on concurrently executing jobs; beyond it requests "
+        "are shed with 429 (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--max-budget",
+        type=_positive_int,
+        default=None,
+        metavar="UNITS",
+        help="admission ceiling on per-request symbolic work budgets; requests "
+        "above it (or asking for unlimited) are shed with 429 (default: no ceiling)",
+    )
+    _add_budget_argument(serve_parser)
+    _add_store_arguments(serve_parser)
+
     args = parser.parse_args(argv)
 
-    # A bad $REPRO_BACKEND would otherwise ride through backend="auto" and
-    # surface as a deep ValueError mid-run; reject it before doing anything.
+    # A bad $REPRO_BACKEND would otherwise ride through backend="auto" into a
+    # deep ValueError mid-run, and a bad $REPRO_STORE_PATH/--store-path into
+    # a failure (or a silently disabled store) mid-analysis; reject both
+    # before doing anything.
     try:
         validate_backend_env()
+        validate_store_env()
+        if getattr(args, "store_path", None) and not getattr(args, "no_store", False):
+            validate_store_path(args.store_path, getattr(args, "store_backend", None))
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "list":
         for name in registry.kernel_names():
@@ -906,6 +979,48 @@ def _run_batch(args) -> int:
     return 0 if batch.error_count == 0 else 1
 
 
+def _run_serve(args) -> int:
+    """Run the analysis HTTP service until interrupted."""
+    import asyncio
+
+    from .server import AnalysisService, HttpServer
+
+    try:
+        service = AnalysisService(
+            store_path=None if args.no_store else (args.store_path or default_store_path()),
+            store_backend=getattr(args, "store_backend", None),
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            max_budget=args.max_budget,
+            default_budget=_budget_value(args),
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    server = HttpServer(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{server.port}\n")
+        store = service.store_path or "off"
+        print(
+            f"repro-haystack serve: listening on http://{args.host}:{server.port} "
+            f"(workers={args.workers}, max-inflight={args.max_inflight}, store={store})",
+            file=sys.stderr,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.shutdown()
+    return 0
+
+
 def _run_bench(args) -> int:
     output = args.output or f"BENCH_{args.suite}.json"
     baseline_path = args.baseline or str(default_baseline_path(args.suite))
@@ -917,10 +1032,10 @@ def _run_bench(args) -> int:
     if args.no_store:
         store_path = None
     elif args.store_path:
-        store_path = args.store_path
+        store_path = make_store_spec(args.store_path, getattr(args, "store_backend", None))
     else:
         tmp_store = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
-        store_path = tmp_store.name
+        store_path = make_store_spec(tmp_store.name, getattr(args, "store_backend", None))
     try:
         report = run_suite(args.suite, jobs=args.jobs, store_path=store_path, backend=args.backend)
     except SessionConfigError as exc:

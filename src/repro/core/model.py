@@ -285,7 +285,8 @@ class CacheModel:
                     capacity=capacity_per_level,
                 )
             )
-        store_stats = getattr(getattr(cardinality_cache, "store", None), "stats", None)
+        store = getattr(cardinality_cache, "store", None)
+        store_stats = store.stats() if store is not None else None
         return {
             "per_access": per_access,
             "curve_totals": curve_totals,

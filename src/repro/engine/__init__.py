@@ -32,13 +32,19 @@ __all__ = [
     "JobError",
     "JobRecord",
     "JobSpec",
+    "LocalDirBackend",
     "PersistentCardinalityCache",
+    "SQLiteBackend",
+    "StoreBackend",
     "StoreStats",
     "default_store_path",
     "expand_matrix",
     "job_digest",
+    "make_store_spec",
     "run_batch",
     "stable_digest",
+    "validate_store_env",
+    "validate_store_path",
 ]
 
 _LAZY = {
@@ -50,11 +56,17 @@ _LAZY = {
     "JobSpec": "jobs",
     "expand_matrix": "jobs",
     "AnalysisStore": "store",
+    "LocalDirBackend": "store",
     "PersistentCardinalityCache": "store",
+    "SQLiteBackend": "store",
+    "StoreBackend": "store",
     "StoreStats": "store",
     "default_store_path": "store",
     "job_digest": "store",
+    "make_store_spec": "store",
     "stable_digest": "store",
+    "validate_store_env": "store",
+    "validate_store_path": "store",
 }
 
 

@@ -123,8 +123,8 @@ class BatchResult:
     records: List[JobRecord] = field(default_factory=list)
     worker_count: int = 1
     elapsed_seconds: float = 0.0
-    #: Result-store counters of this run (``AnalysisStore.stats.as_dict()``)
-    #: or ``None`` when the engine ran store-less.
+    #: Result-store counters of this run (``AnalysisStore.stats()`` as a
+    #: dict) or ``None`` when the engine ran store-less.
     store_stats: Optional[Dict[str, int]] = None
 
     def __iter__(self):
@@ -349,7 +349,7 @@ class BatchEngine:
             records=records,
             worker_count=min(self.jobs, computed) or 1,
             elapsed_seconds=time.perf_counter() - start,
-            store_stats=store.stats.as_dict() if store is not None else None,
+            store_stats=store.stats().as_dict() if store is not None else None,
         )
 
     def run_iter(

@@ -3,7 +3,7 @@
 The in-memory :class:`~repro.engine.cache.CardinalityCache` removes repeated
 work *within* one analysis job; this module removes it *across* processes and
 runs.  An :class:`AnalysisStore` persists two kinds of entries under one
-directory tree:
+location:
 
 * ``cardinality`` — integer point counts, keyed by the canonical form of the
   counting problem (the same key the in-memory cache uses);
@@ -18,17 +18,30 @@ records the :func:`code_version` that produced it; a version mismatch on read
 deletes the entry and counts as an *invalidation*, so upgrading the analysis
 code transparently recomputes instead of serving stale counts.
 
-Concurrency: the layout is append-friendly.  Writers create a temporary file
-in the destination directory and publish it with ``os.replace`` (atomic on
-POSIX), so a reader never observes a half-written entry; concurrent writers
-of the same key simply race to publish identical content.  Readers treat
-missing, truncated, or otherwise corrupt entries as misses and delete the
-corpse.  This makes the store safe under the batch engine's multiprocessing
-pool without any locking.
+Storage is pluggable: :class:`AnalysisStore` owns the entry format (schema,
+code-version envelope, statistics, LRU budget) and delegates raw blob I/O to
+a :class:`StoreBackend`.  Two backends ship:
+
+* :class:`LocalDirBackend` (``"dir"``, the default) — one JSON file per entry
+  under ``root/<namespace>/<aa>/<digest>.json``.  Writers publish with
+  ``os.replace`` (atomic on POSIX), so a reader never observes a half-written
+  entry; concurrent writers of the same key race to publish identical
+  content.  Safe under the batch engine's multiprocessing pool without
+  locking.
+* :class:`SQLiteBackend` (``"sqlite"``) — a single SQLite database in WAL
+  mode with a busy timeout, so N *server* workers (or N machines on a shared
+  filesystem that supports POSIX locks) share one hit set safely.  The
+  schema is one ``entries`` table keyed by ``(namespace, digest)``.
+
+The backend is selected by a *store spec*: a plain path means ``dir`` (or
+``sqlite`` when the path is an existing regular file, so pointing at a
+database just works), a ``sqlite:PATH`` / ``dir:PATH`` prefix forces one, and
+``$REPRO_STORE_BACKEND`` (or ``--store-backend``) sets the default for
+unprefixed paths.
 
 Size is bounded by an LRU cap (:attr:`AnalysisStore.max_bytes`): reads bump
-the entry mtime, and writers periodically evict the stalest entries once the
-tree exceeds the cap.
+the entry recency, and writers periodically evict the stalest entries once
+the store exceeds the cap.
 """
 
 from __future__ import annotations
@@ -37,11 +50,14 @@ import functools
 import hashlib
 import json
 import os
+import sqlite3
 import tempfile
+import threading
+import time
 from dataclasses import dataclass
 from fractions import Fraction
 from pathlib import Path
-from typing import Dict, Optional, Sequence
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
 
 from ..isl.constraints import ConstraintSystem
 from ..isl.qpoly import Div, QPoly
@@ -49,13 +65,23 @@ from .cache import CardinalityCache, canonical_key
 
 __all__ = [
     "AnalysisStore",
+    "BACKEND_NAMES",
+    "LocalDirBackend",
     "PersistentCardinalityCache",
+    "SQLiteBackend",
+    "StoreBackend",
+    "StoreEntry",
     "StoreStats",
     "cardinality_digest",
     "code_version",
     "default_store_path",
     "job_digest",
+    "make_store_spec",
+    "open_backend",
+    "parse_store_spec",
     "stable_digest",
+    "validate_store_env",
+    "validate_store_path",
 ]
 
 #: On-disk schema version of store entries (bump on incompatible layout change).
@@ -67,6 +93,14 @@ DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 #: Environment overrides honoured by :func:`default_store_path` and the CLI.
 STORE_PATH_ENV = "REPRO_STORE_PATH"
 STORE_MAX_BYTES_ENV = "REPRO_STORE_MAX_BYTES"
+STORE_BACKEND_ENV = "REPRO_STORE_BACKEND"
+
+#: Store backend names accepted by specs, ``--store-backend``, and
+#: ``$REPRO_STORE_BACKEND``.
+BACKEND_NAMES = ("dir", "sqlite")
+
+#: File name used when a sqlite spec points at an existing directory.
+SQLITE_DEFAULT_NAME = "store.sqlite"
 
 
 def default_store_path() -> str:
@@ -142,9 +176,458 @@ def code_version() -> str:
     return digest.hexdigest()[:16]
 
 
+# ----------------------------------------------------------------------
+# Store specs: backend selection and eager validation
+# ----------------------------------------------------------------------
+def parse_store_spec(spec: str, backend: Optional[str] = None) -> Tuple[str, str]:
+    """``(backend_name, root_path)`` for a store path spec.
+
+    Resolution order: an explicit ``sqlite:``/``dir:`` prefix on the spec
+    wins, then the ``backend`` argument (CLI ``--store-backend``), then
+    ``$REPRO_STORE_BACKEND``, then a filesystem heuristic — an existing
+    regular file can only be a SQLite database, everything else defaults to
+    the directory backend.  A sqlite root that is an existing directory is
+    rewritten to ``<dir>/store.sqlite`` so both backends accept the same
+    default location.
+    """
+    spec = str(spec)
+    name = None
+    for prefix in BACKEND_NAMES:
+        if spec.startswith(prefix + ":"):
+            name, spec = prefix, spec[len(prefix) + 1 :]
+            break
+    if not spec:
+        raise ValueError(f"store path spec {spec!r} names no path")
+    if name is None:
+        name = backend or os.environ.get(STORE_BACKEND_ENV, "").strip() or None
+        if name is not None and name not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown store backend {name!r} (expected {'|'.join(BACKEND_NAMES)})"
+            )
+    if name is None:
+        name = "sqlite" if _is_sqlite_file(Path(spec)) else "dir"
+    if name == "sqlite" and Path(spec).is_dir():
+        spec = str(Path(spec) / SQLITE_DEFAULT_NAME)
+    return name, spec
+
+
+def _is_sqlite_file(path: Path) -> bool:
+    """Existing SQLite database (magic header, or empty = a fresh one)?
+
+    The autodetect must only claim files that really are databases; an
+    arbitrary file at the store path is a configuration error (the dir
+    backend reports it as such), not a database to overwrite.
+    """
+    try:
+        if not path.is_file():
+            return False
+        if path.stat().st_size == 0:
+            return True
+        with open(path, "rb") as handle:
+            return handle.read(16) == b"SQLite format 3\x00"
+    except OSError:
+        return False
+
+
+def make_store_spec(path, backend: Optional[str] = None) -> str:
+    """Self-describing store spec string: the backend travels with the path.
+
+    The spec flows unmodified through :class:`~repro.engine.jobs.JobSpec`
+    payloads and :attr:`~repro.core.model.ModelOptions.store_path` into pool
+    workers, so every process opens the same backend without extra plumbing.
+    """
+    name, root = parse_store_spec(str(path), backend)
+    return f"{name}:{root}"
+
+
+def validate_store_path(spec, backend: Optional[str] = None) -> str:
+    """Eagerly check a store location; returns the normalized spec.
+
+    Raises ``ValueError`` with a one-line, actionable message when the
+    location cannot work — the path exists but has the wrong type for the
+    backend, or the nearest existing ancestor is not writable — instead of
+    letting a deep ``OSError`` (or a silently disabled store) surface
+    mid-analysis.
+    """
+    name, root = parse_store_spec(spec, backend)
+    path = Path(root)
+    if name == "dir" and path.exists() and not path.is_dir():
+        raise ValueError(
+            f"store path {root!r} is a file, not a directory "
+            f"(move it aside, pick another --store-path/$REPRO_STORE_PATH, "
+            f"or select the sqlite backend to use it as a database)"
+        )
+    if name == "sqlite" and path.exists() and not path.is_file():
+        raise ValueError(
+            f"sqlite store path {root!r} is not a regular file "
+            f"(point it at a database file or a directory that can hold one)"
+        )
+    probe = path if path.exists() else path.parent
+    while not probe.exists():
+        parent = probe.parent
+        if parent == probe:
+            break
+        probe = parent
+    if probe != path and probe.exists() and not probe.is_dir():
+        raise ValueError(
+            f"store path {root!r} is not a regular file location "
+            f"({probe} is a file in the way); pick another "
+            f"--store-path/$REPRO_STORE_PATH"
+        )
+    access = os.W_OK | os.X_OK if probe.is_dir() else os.W_OK
+    if probe.exists() and not os.access(probe, access):
+        raise ValueError(
+            f"store path {root!r} is not writable ({probe} denies write access); "
+            f"fix the permissions or pick another --store-path/$REPRO_STORE_PATH"
+        )
+    return f"{name}:{root}"
+
+
+def validate_store_env() -> None:
+    """Validate ``$REPRO_STORE_BACKEND`` and ``$REPRO_STORE_PATH`` eagerly.
+
+    Called at CLI entry, :class:`~repro.api.Session` construction, and server
+    construction, so a bad environment fails with one clear line instead of a
+    traceback from deep inside a worker.
+    """
+    backend = os.environ.get(STORE_BACKEND_ENV, "").strip()
+    if backend and backend not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown store backend {backend!r} in ${STORE_BACKEND_ENV} "
+            f"(expected {'|'.join(BACKEND_NAMES)})"
+        )
+    path = os.environ.get(STORE_PATH_ENV, "").strip()
+    if path:
+        try:
+            validate_store_path(path)
+        except ValueError as exc:
+            raise ValueError(f"${STORE_PATH_ENV}: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StoreEntry:
+    """One stored blob as the LRU sweep sees it."""
+
+    namespace: str
+    digest: str
+    size: int
+    #: Recency stamp in nanoseconds (reads refresh it); the eviction order is
+    #: ``(recency_ns, namespace, digest)`` so same-tick writes stay stable.
+    recency_ns: int
+
+
+class StoreBackend:
+    """Raw blob storage contract behind :class:`AnalysisStore`.
+
+    Implementations store opaque text blobs keyed by ``(namespace, digest)``
+    and must be safe under concurrent writers from a multiprocessing pool.
+    Every method is total: storage-level failures surface as misses (reads)
+    or dropped writes, never as exceptions — the store is an accelerator and
+    must not fail the analysis it accelerates.
+    """
+
+    #: Backend name as used in store specs (``"dir"`` / ``"sqlite"``).
+    name = "abstract"
+
+    def read(self, namespace: str, digest: str) -> Optional[str]:
+        """Blob text, ``None`` when absent, ``""`` when present but unreadable."""
+        raise NotImplementedError
+
+    def write(self, namespace: str, digest: str, text: str) -> int:
+        """Atomically publish ``text``; returns bytes written (0 = dropped)."""
+        raise NotImplementedError
+
+    def delete(self, namespace: str, digest: str) -> None:
+        raise NotImplementedError
+
+    def touch(self, namespace: str, digest: str) -> None:
+        """Refresh the entry's recency stamp (LRU bookkeeping)."""
+        raise NotImplementedError
+
+    def entries(self) -> Iterator[StoreEntry]:
+        raise NotImplementedError
+
+    def size_bytes(self) -> int:
+        return sum(entry.size for entry in self.entries())
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def wipe(self) -> int:
+        removed = 0
+        for entry in list(self.entries()):
+            self.delete(entry.namespace, entry.digest)
+            removed += 1
+        return removed
+
+
+class LocalDirBackend(StoreBackend):
+    """One JSON file per entry under ``root/<namespace>/<aa>/<digest>.json``.
+
+    The two-level fan-out keeps directories small for large stores; the
+    namespace separates cardinality entries from whole-result entries so the
+    LRU sweep and wipe tooling can treat them uniformly.  Writers create a
+    temporary file in the destination directory and publish it with
+    ``os.replace`` (atomic on POSIX); recency is the file mtime
+    (``st_mtime_ns`` — the float ``st_mtime`` is too coarse to separate
+    entries written in the same tick, routine under the mp pool).
+    """
+
+    name = "dir"
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def _path(self, namespace: str, digest: str) -> Path:
+        return self.root / namespace / digest[:2] / f"{digest}.json"
+
+    def read(self, namespace: str, digest: str) -> Optional[str]:
+        path = self._path(namespace, digest)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            # Present but unreadable: report a corpse so the caller buries it.
+            return ""
+
+    def write(self, namespace: str, digest: str, text: str) -> int:
+        path = self._path(namespace, digest)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                os.replace(tmp_name, path)
+            except BaseException:
+                _unlink_quietly(Path(tmp_name))
+                raise
+        except OSError:
+            return 0
+        return len(text.encode("utf-8"))
+
+    def delete(self, namespace: str, digest: str) -> None:
+        _unlink_quietly(self._path(namespace, digest))
+
+    def touch(self, namespace: str, digest: str) -> None:
+        try:
+            os.utime(self._path(namespace, digest))
+        except OSError:
+            pass
+
+    def _files(self) -> Iterator[Path]:
+        for namespace_dir in self.root.iterdir() if self.root.is_dir() else ():
+            if not namespace_dir.is_dir():
+                continue
+            for shard in namespace_dir.iterdir():
+                if not shard.is_dir():
+                    continue
+                for path in shard.iterdir():
+                    if path.suffix == ".json":
+                        yield path
+
+    def entries(self) -> Iterator[StoreEntry]:
+        for path in self._files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            yield StoreEntry(
+                namespace=path.parent.parent.name,
+                digest=path.stem,
+                size=stat.st_size,
+                recency_ns=stat.st_mtime_ns,
+            )
+
+
+#: Seconds a SQLite writer waits on a locked database before giving up.
+_SQLITE_TIMEOUT = 30.0
+
+_SQLITE_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    namespace  TEXT NOT NULL,
+    digest     TEXT NOT NULL,
+    payload    TEXT NOT NULL,
+    size       INTEGER NOT NULL,
+    recency_ns INTEGER NOT NULL,
+    PRIMARY KEY (namespace, digest)
+)
+"""
+
+
+class SQLiteBackend(StoreBackend):
+    """All entries in one SQLite database, WAL mode, busy-timeout writers.
+
+    WAL lets readers proceed while a writer commits, and the busy timeout
+    serializes concurrent writers without failures, so N server workers (or
+    N processes of the batch pool) share one hit set safely.  Connections
+    are opened lazily per ``(instance, process)`` — a handle never crosses a
+    ``fork`` — and guarded by a lock so one backend instance can serve
+    multiple threads (the asyncio server reads from worker threads).
+
+    A corrupt database file is treated like a corrupt dir entry: the first
+    write that trips ``sqlite3.DatabaseError`` deletes the database (plus
+    WAL side files) and recreates it empty; reads report misses meanwhile.
+    """
+
+    name = "sqlite"
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._conn: Optional[sqlite3.Connection] = None
+        self._pid: Optional[int] = None
+        self._lock = threading.Lock()
+
+    # -- connection management ------------------------------------------------
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None or self._pid != os.getpid():
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(
+                str(self.path),
+                timeout=_SQLITE_TIMEOUT,
+                isolation_level=None,  # autocommit: every statement is its own txn
+                check_same_thread=False,  # guarded by self._lock
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(_SQLITE_SCHEMA)
+            self._conn = conn
+            self._pid = os.getpid()
+        return self._conn
+
+    def _reset(self) -> None:
+        """Drop a corrupt database and start empty (entry-corpse burial)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        for suffix in ("", "-wal", "-shm"):
+            _unlink_quietly(Path(str(self.path) + suffix))
+
+    # -- blob operations ------------------------------------------------------
+    def read(self, namespace: str, digest: str) -> Optional[str]:
+        with self._lock:
+            try:
+                row = self._connection().execute(
+                    "SELECT payload FROM entries WHERE namespace = ? AND digest = ?",
+                    (namespace, digest),
+                ).fetchone()
+            except sqlite3.Error:
+                return None
+        return row[0] if row else None
+
+    def write(self, namespace: str, digest: str, text: str) -> int:
+        size = len(text.encode("utf-8"))
+        row = (namespace, digest, text, size, time.time_ns())
+        statement = (
+            "INSERT INTO entries (namespace, digest, payload, size, recency_ns) "
+            "VALUES (?, ?, ?, ?, ?) "
+            "ON CONFLICT (namespace, digest) DO UPDATE SET "
+            "payload = excluded.payload, size = excluded.size, "
+            "recency_ns = excluded.recency_ns"
+        )
+        with self._lock:
+            try:
+                self._connection().execute(statement, row)
+            except sqlite3.DatabaseError:
+                # Corrupt database: bury it and retry once on a fresh one.
+                self._reset()
+                try:
+                    self._connection().execute(statement, row)
+                except sqlite3.Error:
+                    return 0
+            except sqlite3.Error:
+                return 0
+        return size
+
+    def delete(self, namespace: str, digest: str) -> None:
+        with self._lock:
+            try:
+                self._connection().execute(
+                    "DELETE FROM entries WHERE namespace = ? AND digest = ?",
+                    (namespace, digest),
+                )
+            except sqlite3.Error:
+                pass
+
+    def touch(self, namespace: str, digest: str) -> None:
+        with self._lock:
+            try:
+                self._connection().execute(
+                    "UPDATE entries SET recency_ns = ? WHERE namespace = ? AND digest = ?",
+                    (time.time_ns(), namespace, digest),
+                )
+            except sqlite3.Error:
+                pass
+
+    def entries(self) -> Iterator[StoreEntry]:
+        with self._lock:
+            try:
+                rows = self._connection().execute(
+                    "SELECT namespace, digest, size, recency_ns FROM entries"
+                ).fetchall()
+            except sqlite3.Error:
+                return iter(())
+        return (StoreEntry(*row) for row in rows)
+
+    def size_bytes(self) -> int:
+        with self._lock:
+            try:
+                row = self._connection().execute(
+                    "SELECT COALESCE(SUM(size), 0) FROM entries"
+                ).fetchone()
+            except sqlite3.Error:
+                return 0
+        return int(row[0])
+
+    def entry_count(self) -> int:
+        with self._lock:
+            try:
+                row = self._connection().execute("SELECT COUNT(*) FROM entries").fetchone()
+            except sqlite3.Error:
+                return 0
+        return int(row[0])
+
+    def wipe(self) -> int:
+        count = self.entry_count()
+        with self._lock:
+            try:
+                self._connection().execute("DELETE FROM entries")
+            except sqlite3.Error:
+                return 0
+        return count
+
+
+def open_backend(spec, backend: Optional[str] = None) -> StoreBackend:
+    """The :class:`StoreBackend` a store spec names (see :func:`parse_store_spec`)."""
+    name, root = parse_store_spec(str(spec), backend)
+    if name == "sqlite":
+        return SQLiteBackend(root)
+    return LocalDirBackend(root)
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
 @dataclass
 class StoreStats:
-    """Counters of one :class:`AnalysisStore` instance (per process)."""
+    """Counters of one :class:`AnalysisStore` instance (per process).
+
+    The same struct backs the ``store`` block of batch summaries, bench
+    reports, and the server's ``/stats`` endpoint.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -168,32 +651,44 @@ class StoreStats:
         self.writes += other.writes
         self.evictions += other.evictions
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
             "writes": self.writes,
             "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 6),
         }
 
 
 class AnalysisStore:
-    """Content-addressed JSON entries under ``root/<namespace>/<aa>/<digest>.json``.
+    """Content-addressed, code-versioned JSON entries on a pluggable backend.
 
-    The two-level fan-out keeps directories small for large stores; the
-    namespace separates cardinality entries from whole-result entries so the
-    LRU sweep and wipe tooling can treat them uniformly.
+    The store owns the entry envelope (schema + code version + payload), the
+    per-process statistics, and the LRU size budget; raw blob storage is the
+    backend's problem (see :class:`StoreBackend`).  ``root`` accepts a plain
+    path or a ``sqlite:``/``dir:``-prefixed store spec; ``backend`` forces a
+    backend by name or instance.
     """
 
     def __init__(
         self,
-        root: Optional[str] = None,
+        root: Optional[Union[str, Path]] = None,
         *,
+        backend: Optional[Union[str, StoreBackend]] = None,
         max_bytes: Optional[int] = None,
         version: Optional[str] = None,
     ) -> None:
-        self.root = Path(root) if root else Path(default_store_path())
+        if isinstance(backend, StoreBackend):
+            self.backend = backend
+            self.root = Path(getattr(backend, "root", getattr(backend, "path", ".")))
+        else:
+            spec = str(root) if root else default_store_path()
+            self.backend = open_backend(spec, backend)
+            self.root = Path(
+                getattr(self.backend, "root", getattr(self.backend, "path", spec))
+            )
         if max_bytes is None:
             env = os.environ.get(STORE_MAX_BYTES_ENV, "").strip()
             max_bytes = int(env) if env else DEFAULT_MAX_BYTES
@@ -201,18 +696,31 @@ class AnalysisStore:
             raise ValueError(f"store size cap must be positive, got {max_bytes}")
         self.max_bytes = max_bytes
         self.version = version if version is not None else code_version()
-        self.stats = StoreStats()
-        # Incremental size estimate: one tree walk when this instance first
-        # writes, then each write adds its own size.  Eviction (and its full
-        # walk) only happens when the estimate crosses the cap, so steady
-        # writing far below the cap never re-scans the tree.
+        self._stats = StoreStats()
+        # Incremental size estimate: one backend scan when this instance
+        # first writes, then each write adds its own size.  Eviction (and its
+        # full scan) only happens when the estimate crosses the cap, so
+        # steady writing far below the cap never re-scans the store.
         self._approx_bytes: Optional[int] = None
+
+    def stats(self) -> StoreStats:
+        """Hit/miss/invalidation/write/eviction counters of this instance.
+
+        Batch summaries, bench reports, and the server's ``/stats`` endpoint
+        all read this one struct (serialize with
+        :meth:`StoreStats.as_dict`).
+        """
+        return self._stats
 
     # ------------------------------------------------------------------
     # Generic entry access
     # ------------------------------------------------------------------
     def _entry_path(self, namespace: str, digest: str) -> Path:
-        return self.root / namespace / digest[:2] / f"{digest}.json"
+        """Filesystem path of one entry (directory backend only; tests and
+        corpse inspection)."""
+        if not isinstance(self.backend, LocalDirBackend):
+            raise TypeError(f"{self.backend.name!r} backend entries have no filesystem path")
+        return self.backend._path(namespace, digest)
 
     def get(self, namespace: str, digest: str):
         """Payload stored under ``digest``, or ``None`` on miss.
@@ -220,55 +728,45 @@ class AnalysisStore:
         Version-stale and corrupt entries are deleted and counted as
         invalidations (plus the miss the caller observes).
         """
-        path = self._entry_path(namespace, digest)
+        text = self.backend.read(namespace, digest)
+        if text is None:
+            self._stats.misses += 1
+            return None
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
+            entry = json.loads(text)
             if entry["schema"] != ENTRY_SCHEMA or entry["version"] != self.version:
                 raise _StaleEntry()
             payload = entry["payload"]
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except (OSError, ValueError, KeyError, TypeError, _StaleEntry):
-            # Truncated JSON, unreadable file, or a different code version:
+        except (ValueError, KeyError, TypeError, _StaleEntry):
+            # Truncated JSON, garbage blob, or a different code version:
             # drop the entry so the next write repopulates it.
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            _unlink_quietly(path)
+            self._stats.invalidations += 1
+            self._stats.misses += 1
+            self.backend.delete(namespace, digest)
             return None
-        self.stats.hits += 1
-        _touch_quietly(path)
+        self._stats.hits += 1
+        self.backend.touch(namespace, digest)
         return payload
 
     def put(self, namespace: str, digest: str, payload) -> None:
         """Atomically publish ``payload`` under ``digest``; never raises on I/O.
 
         The store is an accelerator: a failed write (read-only tree, disk
-        full) must not fail the analysis that produced the payload.
+        full, locked database) must not fail the analysis that produced the
+        payload.
         """
-        path = self._entry_path(namespace, digest)
         text = json.dumps(
             {"schema": ENTRY_SCHEMA, "version": self.version, "payload": payload},
             separators=(",", ":"),
         )
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    handle.write(text)
-                os.replace(tmp_name, path)
-            except BaseException:
-                _unlink_quietly(Path(tmp_name))
-                raise
-        except OSError:
+        written = self.backend.write(namespace, digest, text)
+        if not written:
             return
-        self.stats.writes += 1
+        self._stats.writes += 1
         if self._approx_bytes is None:
             self._approx_bytes = self.size_bytes()
         else:
-            self._approx_bytes += len(text)
+            self._approx_bytes += written
         if self._approx_bytes > self.max_bytes:
             self._evict_lru()
 
@@ -292,63 +790,35 @@ class AnalysisStore:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
-    def _entries(self):
-        for namespace_dir in self.root.iterdir() if self.root.is_dir() else ():
-            if not namespace_dir.is_dir():
-                continue
-            for shard in namespace_dir.iterdir():
-                if not shard.is_dir():
-                    continue
-                for path in shard.iterdir():
-                    if path.suffix == ".json":
-                        yield path
-
     def size_bytes(self) -> int:
-        total = 0
-        for path in self._entries():
-            try:
-                total += path.stat().st_size
-            except OSError:
-                continue
-        return total
+        return self.backend.size_bytes()
 
     def entry_count(self) -> int:
-        return sum(1 for _ in self._entries())
+        return self.backend.entry_count()
 
     def _evict_lru(self) -> None:
-        """Delete stalest entries (by mtime; reads refresh it) until under cap.
+        """Delete stalest entries (by recency; reads refresh it) until under cap.
 
-        Ordering uses ``st_mtime_ns``: the float ``st_mtime`` is too coarse
-        to separate entries written in the same tick (routine under the mp
-        pool), and the path tiebreak alone would then pick victims by name
-        rather than by age.  Nanosecond stamps plus the deterministic path
-        tiebreak keep the eviction order stable across runs and processes.
+        Ordering is ``(recency_ns, namespace, digest)``: nanosecond stamps
+        separate almost all writes, and the deterministic key tiebreak keeps
+        the eviction order stable across runs and processes even for entries
+        published in the same tick (routine under the mp pool).
         """
-        entries = []
-        total = 0
-        for path in self._entries():
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((stat.st_mtime_ns, stat.st_size, path))
-            total += stat.st_size
+        entries = list(self.backend.entries())
+        total = sum(entry.size for entry in entries)
         if total > self.max_bytes:
-            entries.sort(key=lambda item: (item[0], str(item[2])))
-            for _mtime_ns, size, path in entries:
+            entries.sort(key=lambda entry: (entry.recency_ns, entry.namespace, entry.digest))
+            for entry in entries:
                 if total <= self.max_bytes:
                     break
-                _unlink_quietly(path)
-                total -= size
-                self.stats.evictions += 1
+                self.backend.delete(entry.namespace, entry.digest)
+                total -= entry.size
+                self._stats.evictions += 1
         self._approx_bytes = total
 
     def wipe(self) -> int:
         """Delete every entry; returns how many were removed."""
-        removed = 0
-        for path in self._entries():
-            _unlink_quietly(path)
-            removed += 1
+        removed = self.backend.wipe()
         self._approx_bytes = 0
         return removed
 
@@ -360,13 +830,6 @@ class _StaleEntry(Exception):
 def _unlink_quietly(path: Path) -> None:
     try:
         os.unlink(path)
-    except OSError:
-        pass
-
-
-def _touch_quietly(path: Path) -> None:
-    try:
-        os.utime(path)
     except OSError:
         pass
 

@@ -60,4 +60,10 @@ def format_batch_summary(batch: "BatchResult") -> str:
             f"{batch.cardinality_store_misses} misses, "
             f"{stats.get('invalidations', 0)} invalidation(s), {stats.get('writes', 0)} write(s)"
         )
+        # The result tier's own counters (AnalysisStore.stats()): the same
+        # struct the server's /stats endpoint reports.
+        lines.append(
+            f"store result tier: {stats.get('hits', 0)} hits / {stats.get('misses', 0)} misses "
+            f"({stats.get('hit_rate', 0.0):.0%} hit rate), {stats.get('evictions', 0)} eviction(s)"
+        )
     return "\n".join(lines)

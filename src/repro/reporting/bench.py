@@ -39,9 +39,9 @@ __all__ = [
 
 #: Schema version of the ``BENCH_*.json`` payload (2 = added the ``trace``
 #: simulator workload; 3 = added the ``curve`` sweep workload; 4 = added the
-#: ``symbolic`` chamber-evaluation workload; readers treat missing sections
-#: as absent).
-BENCH_SCHEMA = 4
+#: ``symbolic`` chamber-evaluation workload; 5 = added the ``serve`` live
+#: server workload; readers treat missing sections as absent).
+BENCH_SCHEMA = 5
 
 #: Named workload suites: kernels x datasets analysed under a deterministic
 #: work budget, plus a ``trace`` simulator workload that times the concrete
@@ -50,7 +50,9 @@ BENCH_SCHEMA = 4
 #: measures the cost of a many-point capacity sweep via
 #: :class:`~repro.core.MissCurve` against a single fixed-capacity analysis,
 #: plus a ``symbolic`` workload that times the bulk chamber/grid evaluator
-#: (:mod:`repro.isl.veceval`) against the pure-Python piecewise walk.
+#: (:mod:`repro.isl.veceval`) against the pure-Python piecewise walk, plus a
+#: ``serve`` workload that load-tests a live analysis server (coalescing,
+#: admission control, store dedup, request latency).
 #: ``smoke`` finishes in seconds (CI gate); ``full`` covers the whole
 #: PolyBench registry for offline trend tracking.
 SUITES: Dict[str, Dict] = {
@@ -73,6 +75,20 @@ SUITES: Dict[str, Dict] = {
         # the veceval bulk evaluator must beat it by the floor while
         # producing byte-identical totals.
         "symbolic": {"size": 32, "points": 1024, "rounds": 3, "min_speedup": 3.0},
+        # Live-server load test: hundreds of mixed requests (duplicates
+        # interleaved with unique capacity sweeps) against a background
+        # `repro-haystack serve` with real process workers and a fresh
+        # sqlite store.  Gates: zero errors, exact engine-job dedup,
+        # deterministic coalescing of batch duplicates, budget shedding,
+        # and calibration-normalized p95 latency.
+        "serve": {
+            "kernels": ["gemm", "atax", "bicg", "mvt", "trisolv", "jacobi-1d"],
+            "dataset": "mini",
+            "budget": 2_000,
+            "repeats": 34,
+            "clients": 8,
+            "workers": 2,
+        },
     },
     "full": {
         "kernels": "all",
@@ -82,6 +98,14 @@ SUITES: Dict[str, Dict] = {
         "trace": {"size": 20, "rounds": 3, "min_speedup": 10.0},
         "curve": {"size": 48, "points": 64, "max_ratio": 2.0},
         "symbolic": {"size": 48, "points": 2048, "rounds": 3, "min_speedup": 3.0},
+        "serve": {
+            "kernels": ["gemm", "atax", "bicg", "mvt", "trisolv", "jacobi-1d"],
+            "dataset": "mini",
+            "budget": 10_000,
+            "repeats": 67,
+            "clients": 8,
+            "workers": 2,
+        },
     },
 }
 
@@ -365,6 +389,181 @@ def _run_symbolic_workload(config: Dict) -> Dict:
     return entry
 
 
+#: Inline ``.knl`` program shipped by the serve workload's coalesce probe.
+#: It exists in no registry, so its first submission is always a fresh
+#: engine job — the duplicates in the same batch *must* coalesce onto it.
+_SERVE_PROBE_SOURCE = """\
+kernel bench_serve_probe
+
+dataset mini { N = 24 }
+
+array A[N][N]
+array x[N]
+array y[N]
+
+S0: { [i, j] : 0 <= i < N and 0 <= j < N }
+    schedule [0, i, 0, j, 0]
+    y[i] += A[i][j] * x[j]
+"""
+
+
+def _run_serve_workload(config: Dict) -> Dict:
+    """Load-test a live analysis server: duplicate-heavy traffic, real workers.
+
+    Boots an in-process :class:`~repro.server.BackgroundServer` — process
+    workers, the same execution path as ``repro-haystack serve`` — on a
+    fresh sqlite store, then drives two deterministic probes plus a
+    concurrent mixed load:
+
+    * **coalesce probe** — one ``/v1/batch`` carrying three copies of an
+      inline ``.knl`` job nobody else submits: the server admits all three
+      before the leader's first engine job can finish, so exactly one job
+      runs and both duplicates answer ``coalesced`` (deterministic — no
+      timing assumptions);
+    * **shed probe** — a request demanding an unlimited work budget against
+      the server's admission ceiling must come back 429 / ``shed=budget``;
+    * **mixed load** — ``repeats`` round-robin rounds over the unique specs
+      (one per kernel, each with its own capacity sweep) fired from
+      ``clients`` concurrent connections.  Every duplicate must be served
+      without a new engine job — coalesced while the leader is in flight,
+      from the store afterwards — so ``engine_jobs`` equals the unique-spec
+      count *exactly*, and all responses for one spec must be
+      byte-identical.
+
+    The entry records the dedup accounting, per-kernel miss counts
+    (accuracy), the store counters, and p50/p95 request latency;
+    :func:`compare_reports` gates on all of them.
+    """
+    import hashlib
+    import statistics
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..server import BackgroundServer
+
+    kernels = list(config.get("kernels", []))
+    dataset = str(config.get("dataset", "mini"))
+    budget = int(config.get("budget", 2_000))
+    repeats = max(2, int(config.get("repeats", 34)))
+    clients = max(1, int(config.get("clients", 8)))
+    # Process workers (never the inline-thread test mode): the bench must
+    # exercise the same pool the production `serve` command runs.
+    workers = max(1, int(config.get("workers", 2)))
+    levels = [32 * 1024, 256 * 1024]
+
+    unique_jobs = [
+        {
+            "kernel": kernel,
+            "dataset": dataset,
+            "levels": levels,
+            "budget": budget,
+            # Every spec gets its own sweep, so duplicates repeat a genuine
+            # miss-curve request rather than a degenerate single-point one.
+            "capacities": _curve_sweep_bytes(8 + 2 * index),
+        }
+        for index, kernel in enumerate(kernels)
+    ]
+    probe = {
+        "source": _SERVE_PROBE_SOURCE,
+        "dataset": "mini",
+        "levels": levels,
+        "budget": budget,
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        server = BackgroundServer(
+            store_path=f"sqlite:{tmp}/store.sqlite",
+            workers=workers,
+            max_inflight=len(unique_jobs) + 4,
+            max_budget=budget,
+        )
+        with server:
+            client = server.client()
+            client.wait_ready()
+
+            records = list(client.batch_iter([dict(probe) for _ in range(3)]))
+            probe_ok = len(records) == 3 and all(r["status"] == 200 for r in records)
+            probe_coalesced = sum(
+                1 for r in records if r["status"] == 200 and r["body"]["meta"]["coalesced"]
+            )
+
+            status, body = client.request(
+                "POST",
+                "/v1/analyze",
+                {"kernel": kernels[0], "dataset": dataset, "levels": levels},
+            )
+            shed_ok = status == 429 and body.get("shed") == "budget"
+
+            requests = [job for _ in range(repeats) for job in unique_jobs]
+            latencies: List[float] = []
+            payload_digests: Dict[str, set] = {}
+            misses: Dict[str, List[int]] = {}
+            cached = coalesced_responses = client_errors = 0
+
+            def one_request(job: Dict):
+                start = time.perf_counter()
+                envelope = client.analyze(job)
+                return time.perf_counter() - start, envelope
+
+            wall_start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                futures = [pool.submit(one_request, job) for job in requests]
+                for future, job in zip(futures, requests):
+                    try:
+                        elapsed, envelope = future.result()
+                    except Exception:  # noqa: BLE001 - failures become the errors gate
+                        client_errors += 1
+                        continue
+                    latencies.append(elapsed)
+                    meta = envelope["meta"]
+                    cached += bool(meta["cached"])
+                    coalesced_responses += bool(meta["coalesced"])
+                    kernel = job["kernel"]
+                    digest = hashlib.sha256(
+                        json.dumps(envelope["result"], sort_keys=True).encode("utf-8")
+                    ).hexdigest()
+                    payload_digests.setdefault(kernel, set()).add(digest)
+                    misses.setdefault(
+                        kernel, [level["misses"] for level in envelope["result"]["levels"]]
+                    )
+            wall_seconds = time.perf_counter() - wall_start
+            stats = client.stats()
+
+    # One engine job per unique spec (the kernels plus the probe source);
+    # everything else is a duplicate and must be coalesced or store-served.
+    unique = len(unique_jobs) + 1
+    admitted = len(requests) + 3  # the shed probe is rejected, not deduped
+    store = stats.get("store") or {}
+    if latencies:
+        p50 = statistics.median(latencies)
+        p95 = statistics.quantiles(latencies, n=20)[18] if len(latencies) >= 20 else max(latencies)
+    else:
+        p50 = p95 = None
+    return {
+        "kernels": kernels,
+        "requests": admitted,
+        "unique_specs": unique,
+        "dedup": admitted - unique,
+        "workers": workers,
+        "clients": clients,
+        "probe_ok": probe_ok,
+        "probe_coalesced": probe_coalesced,
+        "shed_ok": shed_ok,
+        "errors": client_errors + int(stats.get("errors", 0)),
+        "engine_jobs": stats.get("engine_jobs"),
+        "coalesced": stats.get("coalesced"),
+        "cached": cached,
+        "payloads_identical": all(len(digests) == 1 for digests in payload_digests.values()),
+        "misses": {kernel: misses[kernel] for kernel in sorted(misses)},
+        "store_hits": store.get("hits"),
+        "store_misses": store.get("misses"),
+        "store_hit_rate": store.get("hit_rate"),
+        "wall_seconds": wall_seconds,
+        "p50_seconds": p50,
+        "p95_seconds": p95,
+    }
+
+
 def run_suite(
     suite: str,
     *,
@@ -392,6 +591,7 @@ def run_suite(
     trace_entry = _run_trace_workload(config["trace"]) if config.get("trace") else None
     curve_entry = _run_curve_workload(config["curve"]) if config.get("curve") else None
     symbolic_entry = _run_symbolic_workload(config["symbolic"]) if config.get("symbolic") else None
+    serve_entry = _run_serve_workload(config["serve"]) if config.get("serve") else None
     batch = request.run()
 
     job_entries = []
@@ -451,6 +651,7 @@ def run_suite(
         "trace": trace_entry,
         "curve": curve_entry,
         "symbolic": symbolic_entry,
+        "serve": serve_entry,
     }
     return report
 
@@ -513,7 +714,15 @@ def compare_reports(
       numpy-vs-python evaluation speedup drops below the suite floor
       (``min_speedup``) or collapses to under a quarter of the baseline
       ratio.  Like ``trace``, the speedup gate is skipped when NumPy is not
-      installed.
+      installed;
+    * the ``serve`` live-server workload regresses on any failed request,
+      on per-kernel miss counts drifting from the baseline or duplicate
+      responses not being byte-identical (accuracy), on a broken service
+      guarantee — batch duplicates not coalescing, unlimited budgets not
+      shed, more engine jobs than unique specs, duplicates unaccounted by
+      ``coalesced + cached`` — and on calibration-normalized p95 request
+      latency collapsing past 4x the baseline (wall clock; skipped with
+      ``check_wall=False``).
     """
     regressions: List[str] = []
     if current.get("suite") != baseline.get("suite"):
@@ -561,6 +770,7 @@ def compare_reports(
     regressions.extend(_compare_trace_workload(current, baseline, tolerance=tolerance))
     regressions.extend(_compare_curve_workload(current, baseline, check_wall=check_wall))
     regressions.extend(_compare_symbolic_workload(current, baseline))
+    regressions.extend(_compare_serve_workload(current, baseline, check_wall=check_wall))
 
     if check_wall:
         baseline_norm = _normalized_wall(baseline)
@@ -696,6 +906,85 @@ def _compare_symbolic_workload(current: Dict, baseline: Dict) -> List[str]:
     return regressions
 
 
+def _serve_normalized_p95(report: Dict) -> Optional[float]:
+    """The serve workload's p95 latency in calibration units (or ``None``)."""
+    serve = report.get("serve") or {}
+    calibration = report.get("calibration_seconds") or 0.0
+    p95 = serve.get("p95_seconds")
+    if not calibration or p95 is None:
+        return None
+    return p95 / calibration
+
+
+def _compare_serve_workload(current: Dict, baseline: Dict, *, check_wall: bool) -> List[str]:
+    """Live-server workload regressions (see :func:`compare_reports`)."""
+    regressions: List[str] = []
+    now = current.get("serve")
+    base = baseline.get("serve")
+    if now is None:
+        if base is not None:
+            regressions.append("accuracy: serve workload missing from current report")
+        return regressions
+    if now.get("errors"):
+        regressions.append(
+            f"accuracy: serve workload saw {now['errors']} failed request(s) "
+            f"out of {now.get('requests', 0)}"
+        )
+    if not now.get("probe_ok", True) or now.get("probe_coalesced", 0) < 2:
+        regressions.append(
+            "performance: serve workload batch duplicates failed to coalesce "
+            f"({now.get('probe_coalesced', 0)}/2 duplicate responses coalesced)"
+        )
+    if not now.get("shed_ok", True):
+        regressions.append(
+            "accuracy: serve workload unlimited-budget request was not shed "
+            "with 429/budget"
+        )
+    engine_jobs = now.get("engine_jobs")
+    unique = now.get("unique_specs")
+    if engine_jobs is not None and unique is not None and engine_jobs != unique:
+        regressions.append(
+            f"performance: serve workload ran {engine_jobs} engine jobs for "
+            f"{unique} unique specs (every duplicate must coalesce or hit the store)"
+        )
+    dedup = now.get("dedup")
+    accounted = (now.get("coalesced") or 0) + (now.get("cached") or 0)
+    if dedup is not None and accounted != dedup:
+        regressions.append(
+            f"performance: serve workload dedup accounting broke "
+            f"({now.get('coalesced')} coalesced + {now.get('cached')} store-cached "
+            f"!= {dedup} duplicates)"
+        )
+    if now.get("cached", 0) < 1:
+        regressions.append(
+            "performance: serve workload store served no duplicate "
+            "(store hit rate is zero)"
+        )
+    if now.get("payloads_identical") is False:
+        regressions.append(
+            "accuracy: serve workload responses for one spec are not byte-identical"
+        )
+    if base and base.get("misses") and now.get("misses") != base.get("misses"):
+        regressions.append(
+            "accuracy: serve workload per-kernel miss counts changed "
+            f"(baseline {base.get('misses')}, current {now.get('misses')})"
+        )
+    if check_wall:
+        # Loopback request latencies are far noisier than whole-suite wall
+        # time, so the gate is collapse-style: 4x the baseline's
+        # calibration-normalized p95, not the regular tolerance.
+        baseline_norm = _serve_normalized_p95(baseline)
+        current_norm = _serve_normalized_p95(current)
+        if baseline_norm and current_norm and current_norm > baseline_norm * 4.0:
+            regressions.append(
+                "performance: serve workload p95 request latency rose "
+                f"{baseline_norm:.2f}x -> {current_norm:.2f}x calibration "
+                f"(> 4x baseline; raw {((baseline.get('serve') or {}).get('p95_seconds') or 0) * 1000:.1f}ms -> "
+                f"{(now.get('p95_seconds') or 0) * 1000:.1f}ms)"
+            )
+    return regressions
+
+
 def format_bench_summary(report: Dict, regressions: Optional[Sequence[str]] = None) -> str:
     """Human-readable one-screen summary of a bench report."""
     totals = report.get("totals", {})
@@ -752,6 +1041,21 @@ def format_bench_summary(report: Dict, regressions: Optional[Sequence[str]] = No
                 f"python {symbolic.get('python_seconds', 0.0):.3f}s "
                 f"(NumPy not installed; no speedup measured)"
             )
+    serve = report.get("serve")
+    if serve:
+        p50 = serve.get("p50_seconds")
+        p95 = serve.get("p95_seconds")
+        latency = (
+            f"p50 {p50 * 1000:.1f}ms / p95 {p95 * 1000:.1f}ms"
+            if p50 is not None and p95 is not None
+            else "no latency samples"
+        )
+        lines.append(
+            f"serve workload: {serve.get('requests', 0)} requests over "
+            f"{serve.get('unique_specs', 0)} unique specs on {serve.get('workers', 0)} worker(s): "
+            f"{serve.get('engine_jobs', 0)} engine jobs, {serve.get('coalesced', 0)} coalesced, "
+            f"{serve.get('cached', 0)} store hits, {serve.get('errors', 0)} errors, {latency}"
+        )
     if regressions is not None:
         if regressions:
             lines.append(f"{len(regressions)} regression(s) against baseline:")

@@ -1,0 +1,106 @@
+"""Thin blocking client for the analysis service (stdlib ``http.client``).
+
+Used by the test suite, the CI smoke script, and the bench ``serve``
+workload's load generator — and small enough to copy into any script that
+wants to talk to a running ``repro-haystack serve``.  One connection per
+request (the server closes after each response anyway).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["ServerClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, body: Dict) -> None:
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+        self.status = status
+        self.body = body
+
+
+class ServerClient:
+    def __init__(self, host: str, port: int, *, timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Raw requests
+    # ------------------------------------------------------------------
+    def request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Tuple[int, Dict]:
+        """``(status, parsed_json_body)`` of one request; never raises on 4xx/5xx."""
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    def _checked(self, method: str, path: str, body: Optional[Dict] = None) -> Dict:
+        status, parsed = self.request(method, path, body)
+        if status != 200:
+            raise ServerError(status, parsed)
+        return parsed
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict:
+        return self._checked("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        return self._checked("GET", "/stats")
+
+    def analyze(self, job: Dict) -> Dict:
+        """One job through ``/v1/analyze``; raises :class:`ServerError` on shed
+        or failure.  Returns the full envelope (``meta`` + ``result``)."""
+        return self._checked("POST", "/v1/analyze", job)
+
+    def batch_iter(self, jobs: List[Dict]) -> Iterator[Dict]:
+        """Stream ``/v1/batch`` NDJSON records as the server emits them.
+
+        Yields ``{"index", "status", "body"}`` dicts in completion order;
+        per-job failures arrive as records, they do not raise.
+        """
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps({"jobs": jobs}).encode("utf-8")
+            connection.request(
+                "POST", "/v1/batch", body=payload, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                raise ServerError(response.status, json.loads(response.read()))
+            # http.client undoes the chunked framing; lines are records.
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def wait_ready(self, *, timeout: float = 30.0, interval: float = 0.05) -> Dict:
+        """Poll ``/healthz`` until the server answers (startup helper)."""
+        deadline = time.monotonic() + timeout
+        last: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (OSError, ValueError, ServerError) as exc:
+                last = exc
+                time.sleep(interval)
+        raise TimeoutError(
+            f"server at {self.host}:{self.port} not ready after {timeout:.0f}s: {last}"
+        )

@@ -1,0 +1,216 @@
+"""Minimal asyncio HTTP/1.1 front end for :class:`AnalysisService`.
+
+Hand-rolled on ``asyncio.start_server`` — the package has no hard runtime
+dependencies, and the protocol surface is four routes of JSON over
+``Content-Length`` bodies, which needs no framework:
+
+* ``GET /healthz`` — liveness probe.
+* ``GET /stats`` — service + store counters (see
+  :meth:`~repro.server.service.AnalysisService.stats`).
+* ``POST /v1/analyze`` — one job JSON in, one result envelope out.
+* ``POST /v1/batch`` — ``{"jobs": [...]}`` in, NDJSON out (chunked
+  transfer encoding): one ``{"index": i, "status": s, "body": ...}`` line
+  per job, streamed in completion order as the service finishes them.
+  Duplicate jobs inside one batch coalesce exactly like duplicate
+  concurrent requests do.
+
+Every response closes the connection (``Connection: close``) — clients are
+script-shaped (curl, the bundled :mod:`repro.server.client`, the bench
+load generator), so connection reuse buys nothing and keeping the reader
+loop trivial buys robustness.  Bodies over
+:data:`~repro.server.protocol.MAX_BODY_BYTES` are refused with 413 before
+they are read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from .protocol import MAX_BODY_BYTES, error_body
+from .service import AnalysisService
+
+__all__ = ["HttpServer"]
+
+_MAX_HEADER_BYTES = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def _encode(body: Dict) -> bytes:
+    # sort_keys makes responses byte-deterministic: two waiters of one
+    # coalesced computation serialize the same payload to the same bytes.
+    return (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
+
+
+class HttpServer:
+    """Bind, accept, route; all analysis semantics live in the service."""
+
+    def __init__(self, service: AnalysisService, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port  # 0 = ephemeral; rewritten to the bound port on start()
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.service.shutdown()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, body, status = request
+            if status is not None:
+                await self._respond(writer, status, error_body(_REASONS[status]))
+            elif path == "/v1/batch" and method == "POST":
+                await self._handle_batch(writer, body)
+            else:
+                response = await self._route(method, path, body)
+                await self._respond(writer, *response)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Optional[Dict], Optional[int]]]:
+        """``(method, path, json_body, early_status)`` of one request.
+
+        ``early_status`` short-circuits routing (oversized or malformed
+        input); ``None`` as the whole return value means the client closed
+        without sending a request.
+        """
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            return "", "", None, 413
+        except asyncio.IncompleteReadError:
+            return None
+        if len(head) > _MAX_HEADER_BYTES:
+            return "", "", None, 413
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            return "", "", None, 400
+        method, target = parts[0].upper(), parts[1]
+        path = target.split("?", 1)[0]
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return method, path, None, 400
+        if length > MAX_BODY_BYTES:
+            return method, path, None, 413
+        body = None
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw)
+            except ValueError:
+                return method, path, None, 400
+        return method, path, body, None
+
+    async def _route(self, method: str, path: str, body: Optional[Dict]) -> Tuple[int, Dict]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, error_body("use GET /healthz")
+            return 200, self.service.healthz()
+        if path == "/stats":
+            if method != "GET":
+                return 405, error_body("use GET /stats")
+            return 200, self.service.stats()
+        if path == "/v1/analyze":
+            if method != "POST":
+                return 405, error_body("use POST /v1/analyze")
+            if body is None:
+                return 400, error_body("POST /v1/analyze needs a JSON job body")
+            return await self.service.analyze(body)
+        return 404, error_body(f"unknown path {path!r}")
+
+    async def _handle_batch(self, writer: asyncio.StreamWriter, body: Optional[Dict]) -> None:
+        """Stream one NDJSON line per job, in completion order."""
+        jobs = (body or {}).get("jobs")
+        if not isinstance(jobs, list) or not jobs:
+            await self._respond(
+                writer, 400, error_body('POST /v1/batch needs {"jobs": [job, ...]}')
+            )
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+
+        async def run_one(index: int, job) -> bytes:
+            if isinstance(job, dict):
+                status, response = await self.service.analyze(job)
+            else:
+                status, response = 400, error_body(
+                    f"job {index} must be a JSON object, got {type(job).__name__}"
+                )
+            return _encode({"index": index, "status": status, "body": response})
+
+        tasks = [asyncio.ensure_future(run_one(i, job)) for i, job in enumerate(jobs)]
+        try:
+            for next_done in asyncio.as_completed(tasks):
+                line = await next_done
+                writer.write(b"%x\r\n" % len(line) + line + b"\r\n")
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionError, OSError):
+            for task in tasks:
+                task.cancel()
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int, body: Dict) -> None:
+        payload = _encode(body)
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()

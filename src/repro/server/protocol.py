@@ -1,0 +1,197 @@
+"""Wire format of the analysis service: JSON jobs in, JSON envelopes out.
+
+One request describes one analysis job, mirroring what the CLI accepts:
+
+.. code-block:: json
+
+    {
+      "kernel": "gemm",              // registered name ...
+      "source": "kernel k\\n...",    // ... XOR inline .knl text
+      "dataset": "mini",             // optional (kernel's first dataset)
+      "machine": "paper-xeon",       // preset ...
+      "levels": [32768, 262144],     // ... XOR explicit hierarchy
+      "line_size": 64,               // only with "levels"
+      "capacities": [64, 1024],      // optional miss-curve sweep (bytes)
+      "budget": 2000,                // optional symbolic work budget
+      "options": {"cross_check": false}
+    }
+
+:func:`build_spec` turns that into the same :class:`~repro.engine.jobs.JobSpec`
+the offline paths produce — an inline ``source`` parses through the real
+kernel frontend and ships its scop (structural store digest, like
+``repro-haystack analyze``), a ``kernel`` name resolves through the registry.
+Identical requests therefore reuse store entries written by CLI runs and
+vice versa, and the server's responses are byte-identical to offline
+:meth:`~repro.api.Session.analyze` payloads.
+
+Responses wrap the :meth:`~repro.core.results.ModelResult.to_dict` payload in
+an envelope whose ``meta`` block carries provenance (digest, cache/coalesce
+flags); errors are ``{"error": "..."}`` with an HTTP-style status.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..api.session import Session, SessionConfigError
+from ..engine.jobs import JobSpec
+
+__all__ = ["RequestError", "build_spec", "error_body", "result_envelope"]
+
+#: Upper bound on accepted request bodies (1 MiB of JSON / inline source).
+MAX_BODY_BYTES = 1 * 1024 * 1024
+
+_KNOWN_FIELDS = frozenset(
+    {
+        "kernel",
+        "source",
+        "dataset",
+        "machine",
+        "levels",
+        "line_size",
+        "capacities",
+        "budget",
+        "options",
+    }
+)
+
+
+class RequestError(ValueError):
+    """A malformed or unsatisfiable request (HTTP ``status``, default 400)."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def build_spec(payload: Dict, *, default_budget: Optional[int] = None) -> Tuple[JobSpec, str]:
+    """The :class:`JobSpec` one request JSON describes, plus the kernel name.
+
+    ``default_budget`` applies when the request names none (requests may
+    also pass ``"budget": 0`` for explicitly unlimited — admission control
+    decides whether to accept that).  All validation errors raise
+    :class:`RequestError` with a one-line message naming the offending
+    field.
+    """
+    if not isinstance(payload, dict):
+        raise RequestError(f"request body must be a JSON object, got {type(payload).__name__}")
+    unknown = set(payload) - _KNOWN_FIELDS
+    if unknown:
+        raise RequestError(
+            f"unknown request field(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(_KNOWN_FIELDS))}"
+        )
+    kernel = payload.get("kernel")
+    source = payload.get("source")
+    if (kernel is None) == (source is None):
+        raise RequestError('exactly one of "kernel" (registered name) or "source" (inline .knl text) is required')
+    if payload.get("machine") is not None and payload.get("levels") is not None:
+        raise RequestError('"machine" (preset) and "levels" (explicit hierarchy) are mutually exclusive')
+    if payload.get("line_size") is not None and payload.get("levels") is None:
+        raise RequestError('"line_size" only applies together with "levels"')
+
+    session = Session()
+    try:
+        if payload.get("machine") is not None:
+            session.machine(str(payload["machine"]))
+        elif payload.get("levels") is not None:
+            from ..core import CacheLevelSpec, MachineModel
+
+            levels = payload["levels"]
+            if not isinstance(levels, list) or not levels:
+                raise RequestError('"levels" must be a non-empty list of cache sizes in bytes')
+            line_size = payload.get("line_size", 64)
+            session.machine(
+                MachineModel(
+                    line_size=int(line_size),
+                    levels=tuple(
+                        CacheLevelSpec(int(size), f"L{index + 1}")
+                        for index, size in enumerate(levels)
+                    ),
+                )
+            )
+        budget = payload.get("budget", default_budget)
+        if budget is not None and not isinstance(budget, int):
+            raise RequestError(f'"budget" must be an integer work-unit count, got {budget!r}')
+        session.budget(budget)
+        capacities = payload.get("capacities")
+        if capacities is not None:
+            if not isinstance(capacities, list):
+                raise RequestError('"capacities" must be a list of cache sizes in bytes')
+            session.capacities(*capacities)
+        options = payload.get("options") or {}
+        if not isinstance(options, dict):
+            raise RequestError('"options" must be an object of model toggles')
+        if options:
+            session.options(**options)
+    except (SessionConfigError, ValueError, TypeError) as exc:
+        raise RequestError(str(exc)) from None
+
+    if source is not None:
+        return _spec_from_source(session, str(source), payload.get("dataset"))
+    return _spec_from_kernel(session, str(kernel), payload.get("dataset"))
+
+
+def _spec_from_kernel(session: Session, kernel: str, dataset) -> Tuple[JobSpec, str]:
+    from ..api import registry
+
+    try:
+        entry = registry.get_kernel(kernel)
+    except registry.RegistryError as exc:
+        raise RequestError(str(exc)) from None
+    dataset = str(dataset) if dataset is not None else entry.datasets[0]
+    if dataset not in entry.datasets:
+        raise RequestError(
+            f"kernel {kernel!r} has no dataset {dataset!r}; available: {', '.join(entry.datasets)}"
+        )
+    return session.job_spec(kernel, dataset), kernel
+
+
+def _spec_from_source(session: Session, source: str, dataset) -> Tuple[JobSpec, str]:
+    """Parse inline ``.knl`` text and ship the built scop in the spec.
+
+    The scop carries the structural fingerprint into the store digest, so
+    two submissions of the same program text coalesce and share store
+    entries regardless of the kernel's declared name — and an edited kernel
+    under the same name can never be served a stale result.
+    """
+    from ..frontend import KernelParseError, parse_kernel
+
+    try:
+        program = parse_kernel(source, "<request>")
+        dataset = str(dataset) if dataset is not None else next(iter(program.datasets))
+        scop = program.instantiate(program.dataset_sizes(dataset))
+    except KernelParseError as exc:
+        raise RequestError(exc.render()) from None
+    return session.job_spec(program.name, dataset, scop=scop), program.name
+
+
+def result_envelope(
+    payload: Dict,
+    *,
+    digest: str,
+    kernel: str,
+    cached: bool,
+    coalesced: bool,
+) -> Dict:
+    """Success response: provenance ``meta`` plus the untouched result payload.
+
+    ``result`` is exactly :meth:`~repro.core.results.ModelResult.to_dict` —
+    byte-identical across the coalesced waiters of one computation and to
+    the offline analyze path reading the same store entry.
+    """
+    return {
+        "meta": {
+            "digest": digest,
+            "kernel": kernel,
+            "cached": cached,
+            "coalesced": coalesced,
+        },
+        "result": payload,
+    }
+
+
+def error_body(message: str, **extra) -> Dict:
+    body = {"error": str(message)}
+    body.update(extra)
+    return body

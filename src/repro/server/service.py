@@ -1,0 +1,215 @@
+"""The analysis service: coalescing, admission control, and job execution.
+
+:class:`AnalysisService` is the transport-independent core behind the HTTP
+layer (:mod:`repro.server.http`): it turns one request payload into one
+response ``(status, body)`` pair, and owns the three mechanisms that make
+the service safe to share:
+
+* **Request coalescing** — in-flight jobs are keyed by the same
+  :func:`~repro.engine.store.job_digest` the store uses, in one
+  ``Dict[digest, Future]``.  The first request for a digest becomes the
+  *leader* (it runs the engine job); any request arriving for the same
+  digest while the leader is in flight becomes a *waiter* and awaits the
+  leader's future.  N identical concurrent requests cost exactly one engine
+  job, and every response carries the identical payload object.  The
+  in-flight map is only touched from the event loop, so no locks are
+  needed; the future is registered *before* the leader's first ``await``,
+  closing the window in which a duplicate could slip past.
+
+* **Admission control** — two shed conditions, both answered with a 429
+  body instead of queueing unbounded work: a *global concurrency cap*
+  (``max_inflight`` leaders; waiters are free, they consume no engine
+  slot), and an optional *budget ceiling* (``max_budget``) that rejects
+  requests demanding more symbolic work than the operator allows —
+  including requests asking for an unlimited budget.  Requests that name no
+  budget get ``default_budget``.
+
+* **Write-through store** — leaders look up the shared
+  :class:`~repro.engine.store.AnalysisStore` before computing and publish
+  their result to it after, so a restarted server (or an offline
+  ``repro-haystack analyze`` against the same store) serves and reuses the
+  same entries.  Store I/O runs in worker threads, never on the loop.
+
+Engine jobs execute in a ``ProcessPoolExecutor`` running the exact batch
+worker entry point (:func:`repro.engine.batch._execute_job`), so a server
+job is the same computation as a batch job — same budget accounting, same
+error isolation, same store interaction.  ``workers=0`` degrades to inline
+threads (tests monkeypatch the worker there).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from ..engine.batch import _execute_job
+from ..engine.jobs import JobSpec
+from ..engine.store import AnalysisStore, job_digest, validate_store_env, validate_store_path
+from .protocol import RequestError, build_spec, error_body, result_envelope
+
+__all__ = ["AnalysisService"]
+
+#: Default cap on concurrently *executing* jobs (leaders, not waiters).
+DEFAULT_MAX_INFLIGHT = 8
+
+
+class AnalysisService:
+    """One long-lived analysis backend shared by every connection.
+
+    Construct, then drive from an event loop via :meth:`analyze`; call
+    :meth:`shutdown` when done (the background helpers and the CLI do both).
+    """
+
+    def __init__(
+        self,
+        *,
+        store_path: Optional[str] = None,
+        store_backend: Optional[str] = None,
+        workers: int = 1,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_budget: Optional[int] = None,
+        default_budget: Optional[int] = None,
+    ) -> None:
+        validate_store_env()
+        if store_path:
+            store_path = validate_store_path(store_path, store_backend)
+        if workers < 0:
+            raise ValueError(f"worker count must be >= 0, got {workers}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.store_path = store_path
+        self.store = AnalysisStore(store_path) if store_path else None
+        self.workers = workers
+        self.max_inflight = max_inflight
+        self.max_budget = max_budget
+        self.default_budget = default_budget
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._started = time.monotonic()
+        self._counters = {
+            "requests": 0,
+            "coalesced": 0,
+            "shed_capacity": 0,
+            "shed_budget": 0,
+            "engine_jobs": 0,
+            "errors": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    async def analyze(self, payload: Dict) -> Tuple[int, Dict]:
+        """One request JSON in, ``(http_status, response_body)`` out."""
+        self._counters["requests"] += 1
+        try:
+            spec, kernel = build_spec(payload, default_budget=self.default_budget)
+        except RequestError as exc:
+            return exc.status, error_body(exc)
+        shed = self._budget_shed(spec)
+        if shed is not None:
+            self._counters["shed_budget"] += 1
+            return 429, shed
+
+        digest = job_digest(spec)
+        existing = self._inflight.get(digest)
+        if existing is not None:
+            # Waiter: share the leader's computation (and its failure).
+            self._counters["coalesced"] += 1
+            try:
+                result = await asyncio.shield(existing)
+            except Exception as exc:  # noqa: BLE001 - leader failures propagate
+                return 500, error_body(exc)
+            return 200, result_envelope(
+                result, digest=digest, kernel=kernel, cached=False, coalesced=True
+            )
+
+        if len(self._inflight) >= self.max_inflight:
+            self._counters["shed_capacity"] += 1
+            return 429, error_body(
+                f"server is at capacity ({self.max_inflight} jobs in flight); retry later",
+                shed="capacity",
+            )
+
+        # Leader: register the future before the first await, so duplicates
+        # arriving during the store lookup coalesce instead of recomputing.
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[digest] = future
+        try:
+            cached = False
+            result = None
+            if self.store is not None:
+                result = await asyncio.to_thread(self.store.get_result, digest)
+                cached = result is not None
+            if result is None:
+                self._counters["engine_jobs"] += 1
+                record = await self._run_job(spec)
+                if record.status != "ok" or record.result is None:
+                    raise RuntimeError(record.error or f"job {record.kernel!r} failed")
+                result = record.result.to_dict()
+                if self.store is not None:
+                    await asyncio.to_thread(self.store.put_result, digest, result)
+            future.set_result(result)
+        except Exception as exc:  # noqa: BLE001 - per-request error isolation
+            self._counters["errors"] += 1
+            future.set_exception(exc)
+            future.exception()  # consumed: waiters re-raise their own copy
+            return 500, error_body(exc)
+        finally:
+            self._inflight.pop(digest, None)
+        return 200, result_envelope(
+            result, digest=digest, kernel=kernel, cached=cached, coalesced=False
+        )
+
+    def _budget_shed(self, spec: JobSpec) -> Optional[Dict]:
+        """A 429 body when the request demands more work than allowed."""
+        if self.max_budget is None:
+            return None
+        budget = spec.symbolic_work_budget
+        if budget is None:
+            return error_body(
+                f"unlimited work budgets are not admitted; "
+                f'request "budget" <= {self.max_budget}',
+                shed="budget",
+            )
+        if budget > self.max_budget:
+            return error_body(
+                f"requested budget {budget} exceeds the admission ceiling "
+                f"{self.max_budget}",
+                shed="budget",
+            )
+        return None
+
+    async def _run_job(self, spec: JobSpec):
+        """Execute one engine job off the event loop (pool or inline thread)."""
+        payload = (0, spec, self.store_path)
+        if self.workers == 0:
+            return await asyncio.to_thread(_execute_job, payload)
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, _execute_job, payload
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """The ``/stats`` body: service counters plus the shared store's."""
+        body = dict(self._counters)
+        body["in_flight"] = len(self._inflight)
+        body["uptime_seconds"] = round(time.monotonic() - self._started, 3)
+        body["workers"] = self.workers
+        body["max_inflight"] = self.max_inflight
+        body["max_budget"] = self.max_budget
+        body["store"] = self.store.stats().as_dict() if self.store is not None else None
+        return body
+
+    def healthz(self) -> Dict:
+        return {"status": "ok", "in_flight": len(self._inflight)}
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None

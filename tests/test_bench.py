@@ -405,6 +405,143 @@ class TestSymbolicWorkload:
         assert symbolic["totals_sha256"]
 
 
+class TestServeWorkload:
+    def _serve_entry(self, **overrides):
+        entry = {
+            "kernels": ["gemm"],
+            "requests": 207,
+            "unique_specs": 7,
+            "dedup": 200,
+            "workers": 2,
+            "clients": 8,
+            "probe_ok": True,
+            "probe_coalesced": 2,
+            "shed_ok": True,
+            "errors": 0,
+            "engine_jobs": 7,
+            "coalesced": 25,
+            "cached": 175,
+            "payloads_identical": True,
+            "misses": {"gemm": [68, 68]},
+            "store_hits": 175,
+            "store_misses": 7,
+            "store_hit_rate": 0.96,
+            "wall_seconds": 14.0,
+            "p50_seconds": 0.008,
+            "p95_seconds": 5.0,
+        }
+        entry.update(overrides)
+        return entry
+
+    def _report(self, serve):
+        return {
+            "suite": "tiny",
+            "wall_seconds": 1.0,
+            "calibration_seconds": 0.1,
+            "jobs": [],
+            "totals": {"work_units": 0},
+            "serve": serve,
+        }
+
+    def test_run_suite_records_serve_workload(self, monkeypatch):
+        monkeypatch.setitem(
+            bench.SUITES,
+            "tiny",
+            dict(
+                TINY_SUITE,
+                serve={
+                    "kernels": ["jacobi-1d"],
+                    "budget": 200,
+                    "repeats": 2,
+                    "clients": 2,
+                    "workers": 1,
+                },
+            ),
+        )
+        report = run_suite("tiny", store_path=None)
+        serve = report["serve"]
+        assert serve["errors"] == 0
+        assert serve["probe_ok"] is True and serve["probe_coalesced"] == 2
+        assert serve["shed_ok"] is True
+        # One engine job per unique spec: jacobi-1d plus the probe source.
+        assert serve["engine_jobs"] == serve["unique_specs"] == 2
+        assert serve["coalesced"] + serve["cached"] == serve["dedup"]
+        assert serve["payloads_identical"] is True
+        assert serve["misses"]["jacobi-1d"]
+        assert serve["p50_seconds"] > 0 and serve["p95_seconds"] > 0
+
+    def test_clean_serve_workload_passes(self):
+        report = self._report(self._serve_entry())
+        assert compare_reports(report, self._report(self._serve_entry()), check_wall=False) == []
+
+    def test_request_errors_are_flagged(self):
+        current = self._report(self._serve_entry(errors=3))
+        regressions = compare_reports(current, self._report(self._serve_entry()), check_wall=False)
+        assert any("failed request" in r for r in regressions)
+
+    def test_failed_coalesce_probe_is_regression(self):
+        current = self._report(self._serve_entry(probe_coalesced=0))
+        regressions = compare_reports(current, self._report(self._serve_entry()), check_wall=False)
+        assert any("failed to coalesce" in r for r in regressions)
+
+    def test_unshed_unlimited_budget_is_regression(self):
+        current = self._report(self._serve_entry(shed_ok=False))
+        regressions = compare_reports(current, self._report(self._serve_entry()), check_wall=False)
+        assert any("not shed" in r for r in regressions)
+
+    def test_excess_engine_jobs_is_regression(self):
+        current = self._report(self._serve_entry(engine_jobs=9))
+        regressions = compare_reports(current, self._report(self._serve_entry()), check_wall=False)
+        assert any("engine jobs for" in r for r in regressions)
+
+    def test_unaccounted_duplicates_is_regression(self):
+        current = self._report(self._serve_entry(cached=100))
+        regressions = compare_reports(current, self._report(self._serve_entry()), check_wall=False)
+        assert any("dedup accounting" in r for r in regressions)
+
+    def test_zero_store_hits_is_regression(self):
+        current = self._report(self._serve_entry(cached=0, coalesced=200))
+        regressions = compare_reports(current, self._report(self._serve_entry()), check_wall=False)
+        assert any("store served no duplicate" in r for r in regressions)
+
+    def test_payload_divergence_is_accuracy_regression(self):
+        current = self._report(self._serve_entry(payloads_identical=False))
+        regressions = compare_reports(current, self._report(self._serve_entry()), check_wall=False)
+        assert any("not byte-identical" in r for r in regressions)
+
+    def test_miss_drift_is_accuracy_regression(self):
+        current = self._report(self._serve_entry(misses={"gemm": [69, 68]}))
+        regressions = compare_reports(current, self._report(self._serve_entry()), check_wall=False)
+        assert any("miss counts changed" in r for r in regressions)
+
+    def test_latency_collapse_is_gated_by_wall_check(self):
+        current = self._report(self._serve_entry(p95_seconds=25.0))
+        regressions = compare_reports(current, self._report(self._serve_entry()))
+        assert any("p95 request latency" in r for r in regressions)
+        # Latency is a wall-clock metric: --no-wall disables the gate.
+        assert compare_reports(current, self._report(self._serve_entry()), check_wall=False) == []
+
+    def test_missing_serve_workload_is_flagged(self):
+        current = self._report(None)
+        current.pop("serve")
+        regressions = compare_reports(current, self._report(self._serve_entry()), check_wall=False)
+        assert any("serve workload missing" in r for r in regressions)
+
+    def test_committed_smoke_baseline_records_the_service_guarantees(self):
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        report = load_report(repo_root / "benchmarks" / "baselines" / "BENCH_smoke.json")
+        serve = report["serve"]
+        assert serve["errors"] == 0
+        assert serve["probe_ok"] is True and serve["probe_coalesced"] == 2
+        assert serve["shed_ok"] is True
+        assert serve["engine_jobs"] == serve["unique_specs"]
+        assert serve["coalesced"] + serve["cached"] == serve["dedup"]
+        assert serve["payloads_identical"] is True
+        assert serve["p95_seconds"] > 0
+
+
 class TestBenchCli:
     def test_bench_writes_report(self, tmp_path, capsys):
         output = tmp_path / "BENCH_tiny.json"

@@ -43,7 +43,13 @@ LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 KNL_FENCE = re.compile(r"^```knl[ \t]*\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL)
 
 #: Markdown files checked, relative to the repository root.
-CHECKED_FILES = ("README.md", "docs/ARCHITECTURE.md", "docs/PERFORMANCE.md", "docs/KERNEL_DSL.md")
+CHECKED_FILES = (
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/PERFORMANCE.md",
+    "docs/KERNEL_DSL.md",
+    "docs/SERVER.md",
+)
 
 _EXTERNAL = ("http://", "https://", "mailto:")
 
