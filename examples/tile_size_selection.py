@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Tile-size selection with the analytical cache model.
+"""Tile-size selection with the design-space explorer.
 
 The paper motivates HayStack as a tool for memory-hierarchy aware software
 development: "selecting the optimal tile size ... is far less intuitive".
@@ -8,10 +8,10 @@ larger than the cache.  Blocking (tiling) the sweep keeps a tile resident
 across the repeated passes — but only if the tile fits the cache.  The model
 ranks the candidate tile sizes without executing the program.
 
-The candidate variants run as one batch through the ``repro.api`` session
-façade; ``run_iter`` streams each verdict the moment its analysis finishes
-instead of holding all output until the batch completes (add ``.workers(n)``
-to the session to also overlap the analyses).
+The whole candidate grid runs through ``Session.explore`` — one call that
+tiles the kernel per candidate, analyzes each variant once, and returns the
+configurations ranked by predicted misses (``docs/EXPLORE.md`` documents the
+output anatomy).  Tile 1 is the untiled baseline.
 
 Run with:  python examples/tile_size_selection.py
 (The tiled variants take a few minutes each with the pure-Python backend;
@@ -22,7 +22,6 @@ import os
 
 from repro.api import Session
 from repro.scop import ScopBuilder
-from repro.scop.schedule import tile_scop
 
 CACHE_LINES = 8
 
@@ -41,36 +40,29 @@ def build_repeated_sweep(n: int, passes: int) -> "Scop":
 def main() -> None:
     fast = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
     n, passes = (16, 2) if fast else (32, 4)
-    tiles = (4, 8, 16) if fast else (4, 8, 16, 32)
+    tiles = (1, 4, 8, 16) if fast else (1, 4, 8, 16, 32)
     # Fast mode budgets the symbolic pipeline: the tiled variants trip it and
     # degrade to the exact trace fallback, so CI sees the same ranking in
     # seconds instead of minutes.
     budget = 2_000 if fast else None
 
-    baseline = build_repeated_sweep(n, passes)
-    variants = [("untiled", baseline)]
-    for tile in tiles:
-        # Tiling both loops interchanges the pass loop into the tile, so a
-        # tile that fits the cache is reused across all passes.
-        variants.append((f"tile {tile}", tile_scop(baseline, tile)))
-
+    scop = build_repeated_sweep(n, passes)
     session = Session().machine((CACHE_LINES * 64,)).budget(budget)
+    result = session.explore(scop, tiles=tiles, capacities=[CACHE_LINES * 64])
+
     print(f"Repeated sweep over {n} cache lines ({passes} passes), "
           f"{CACHE_LINES}-line fully associative L1:\n")
     print(f"{'variant':<10} {'L1 misses':>10} {'hits':>8} {'miss ratio':>11}")
-    best = None
-    labels = [name for name, _ in variants]
-    # error_policy="raise" surfaces a failed variant as a JobError instead of
-    # an error record whose result would be None.
-    request = session.scops(*[scop for _, scop in variants])
-    for record in request.run_iter(error_policy="raise"):
-        name = labels[record.index]
-        result = record.result
-        print(f"{name:<10} {result.misses(0):>10} {result.hits(0):>8} {result.miss_ratio(0):>10.1%}")
-        if best is None or result.misses(0) < best[1]:
-            best = (name, result.misses(0))
+    for config in sorted(result.configs, key=lambda c: c.tile):
+        name = "untiled" if config.tile == 1 else f"tile {config.tile}"
+        hits = config.accesses - config.misses
+        print(f"{name:<10} {config.misses:>10} {hits:>8} {config.miss_ratio:>10.1%}")
 
-    print(f"\nBest variant according to the model: {best[0]}")
+    best = result.best()
+    name = "untiled" if best.tile == 1 else f"tile {best.tile}"
+    print(f"\nBest variant according to the model: {name}")
+    print(f"({result.analyses} analyses for {len(result.configs)} configurations, "
+          f"{result.elapsed_seconds:.1f}s)")
     print("Tiles that fit the cache are reused across the passes; the largest")
     print("tile no longer fits and behaves like the untiled sweep.")
 

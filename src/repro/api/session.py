@@ -109,6 +109,8 @@ class Session:
         self._store_path: Optional[str] = None
         self._backend: str = "auto"
         self._capacities: Tuple[int, ...] = ()
+        self._tiles: Tuple[int, ...] = ()
+        self._line_sizes: Tuple[int, ...] = ()
         self._toggles = {
             "equalization": True,
             "rasterization": True,
@@ -158,35 +160,74 @@ class Session:
         self._backend = name
         return self
 
+    def sweep(self, capacities=None, *, tiles=None, line_sizes=None) -> "Session":
+        """Configure sweep axes through the one shared parser (:mod:`repro.sweep`).
+
+        Every axis accepts ints, iterables, ``"MIN:MAX[:POINTS]"`` range
+        strings, and K/M/G-suffixed sizes — the same grammar as the CLI's
+        ``--sweep`` and the server's ``capacities`` field.  ``capacities``
+        become breakpoints of every result's :class:`~repro.core.MissCurve`
+        (one counting pass serves the whole axis); ``tiles`` and
+        ``line_sizes`` seed the default :class:`~repro.explore.DesignSpace`
+        of :meth:`explore`.  ``None`` leaves an axis untouched; an empty
+        spec (``()``) clears it.
+        """
+        if capacities is not None:
+            self._capacities = self._clean_sizes(capacities, "capacities")
+        if tiles is not None:
+            cleaned = self._clean_sizes(tiles, "tiles")
+            if any(tile < 1 for tile in cleaned):
+                raise SessionConfigError(f"tiles must be >= 1, got {cleaned}")
+            self._tiles = cleaned
+        if line_sizes is not None:
+            self._line_sizes = self._clean_sizes(line_sizes, "line_sizes")
+        return self
+
     def capacities(self, *sizes: int) -> "Session":
         """Extra cache sizes in bytes to resolve on the result's miss curve.
 
-        The sizes become breakpoints of every analysis result's
+        Thin alias for :meth:`sweep` with only the capacity axis: the sizes
+        become breakpoints of every analysis result's
         :class:`~repro.core.MissCurve` alongside the machine's hierarchy
         levels — all served by the same single counting pass, so a wide
         sweep costs barely more than a fixed-capacity run.  Calling with no
         arguments clears a previously configured sweep.
         """
+        return self.sweep(capacities=sizes)
+
+    def _clean_sizes(self, sizes, label: str) -> Tuple[int, ...]:
+        """Flatten, parse, and validate one sweep axis; sorted unique ints."""
+        from ..sweep import Sweep, SweepError
+
+        if not isinstance(sizes, (tuple, list, range, set, frozenset)):
+            sizes = (sizes,)
         flat: List[int] = []
         for size in sizes:
-            if isinstance(size, (tuple, list, range)):
+            if isinstance(size, (tuple, list, range, set, frozenset)):
                 flat.extend(size)
             else:
                 flat.append(size)
-        if any(isinstance(size, bool) for size in flat):
-            raise SessionConfigError(f"capacities must be cache sizes in bytes, got {sizes!r}")
+        strings = [size for size in flat if isinstance(size, (str, Sweep))]
+        numbers = [size for size in flat if not isinstance(size, (str, Sweep))]
+        if any(isinstance(size, bool) for size in numbers):
+            raise SessionConfigError(f"{label} must be cache sizes in bytes, got {sizes!r}")
         try:
             # operator.index rejects floats (no silent truncation of e.g.
             # 1.5 * KIB-style computed sizes) while accepting int-likes.
-            cleaned = sorted({operator.index(size) for size in flat})
+            cleaned = {operator.index(size) for size in numbers}
         except TypeError:
             raise SessionConfigError(
-                f"capacities must be cache sizes in bytes, got {sizes!r}"
+                f"{label} must be cache sizes in bytes, got {sizes!r}"
             ) from None
-        if cleaned and cleaned[0] <= 0:
-            raise SessionConfigError(f"capacities must be positive byte sizes, got {cleaned}")
-        self._capacities = tuple(cleaned)
-        return self
+        for spec in strings:
+            try:
+                cleaned.update(Sweep.parse(spec, label=label).values)
+            except SweepError as exc:
+                raise SessionConfigError(str(exc)) from None
+        ordered = sorted(cleaned)
+        if ordered and ordered[0] <= 0:
+            raise SessionConfigError(f"{label} must be positive byte sizes, got {ordered}")
+        return tuple(ordered)
 
     def workers(self, count: Union[int, str]) -> "Session":
         """Worker-pool size for batch runs; ``"auto"`` picks a machine default."""
@@ -225,8 +266,8 @@ class Session:
         ``store()`` uses the default path (``$REPRO_STORE_PATH`` or the user
         cache directory); ``store(path)`` uses that path.  An explicit
         ``store(None)`` disables the store — so configuration values of the
-        form ``store_path or None`` pass through with their old
-        ``run_batch``/``BatchEngine`` meaning intact.
+        form ``store_path or None`` pass through with their
+        :class:`~repro.engine.batch.BatchEngine` meaning intact.
 
         ``backend`` selects the storage backend (``"dir"`` / ``"sqlite"``;
         default: ``$REPRO_STORE_BACKEND`` or the directory backend).  The
@@ -460,6 +501,88 @@ class Session:
         if store is not None:
             store.put_result(digest, result.to_dict())
         return result
+
+    def derive(self, *, machine=None, capacities=None) -> "Session":
+        """A copy of this session with selected knobs replaced.
+
+        Budget, backend, store, worker counts, and model toggles carry over;
+        ``machine`` and ``capacities`` (when given) replace the originals.
+        The explorer uses this to analyze each design-grid variant against
+        its own single-level machine while sharing the parent's store.
+        """
+        clone = Session(machine if machine is not None else self._machine)
+        clone._budget = self._budget
+        clone._workers = self._workers
+        clone._piece_workers = self._piece_workers
+        clone._store_path = self._store_path
+        clone._backend = self._backend
+        clone._capacities = (
+            self._capacities if capacities is None else tuple(capacities)
+        )
+        clone._tiles = self._tiles
+        clone._line_sizes = self._line_sizes
+        clone._toggles = dict(self._toggles)
+        return clone
+
+    def explore(
+        self,
+        target: Union[str, Scop],
+        dataset: Optional[str] = None,
+        *,
+        space=None,
+        tiles=None,
+        capacities=None,
+        line_sizes=None,
+        associativities=None,
+        overrides=None,
+    ):
+        """Walk a tile × capacity × line-size × associativity design grid.
+
+        Pass a pre-built :class:`~repro.explore.DesignSpace` *or* per-axis
+        sweep specs (ints, iterables, ``"MIN:MAX[:POINTS]"`` strings —
+        anything :mod:`repro.sweep` parses).  Axes left unset fall back to
+        the session's :meth:`sweep` configuration, then to the machine's
+        hierarchy (capacities) and line size.  Returns a ranked
+        :class:`~repro.explore.ExploreResult` whose Pareto front minimizes
+        (predicted misses, hardware-cost proxy); the grid costs one analysis
+        per (tile, line size) — capacities and associativities are free.
+        """
+        from ..explore import DesignSpace, DesignSpaceError, run_explore
+
+        if space is not None:
+            if any(axis is not None for axis in (tiles, capacities, line_sizes, associativities)):
+                raise SessionConfigError(
+                    "pass either a pre-built DesignSpace or axis specs, not both"
+                )
+        else:
+            try:
+                space = DesignSpace.from_specs(
+                    tiles=tiles if tiles is not None else (self._tiles or None),
+                    capacities=(
+                        capacities if capacities is not None else (self._capacities or None)
+                    ),
+                    line_sizes=(
+                        line_sizes if line_sizes is not None else (self._line_sizes or None)
+                    ),
+                    associativities=associativities,
+                )
+            except DesignSpaceError as exc:
+                raise SessionConfigError(str(exc)) from None
+        if isinstance(target, Scop):
+            if dataset is not None or overrides:
+                raise SessionConfigError(
+                    "dataset/overrides only apply to kernel names; "
+                    "build the Scop with the desired sizes instead"
+                )
+            scop, kernel = target, target.name
+        else:
+            entry = self._registry.get_kernel(target)
+            dataset = dataset if dataset is not None else entry.datasets[0]
+            scop, kernel = entry.build(dataset, overrides), target
+        try:
+            return run_explore(self, scop, space, kernel=kernel, dataset=dataset)
+        except DesignSpaceError as exc:
+            raise SessionConfigError(str(exc)) from None
 
     def miss_curve(
         self,

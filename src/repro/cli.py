@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import re
 import sys
 import tempfile
 from typing import List, Optional, Tuple
+
+from . import sweep as sweepmod
+from .sweep import DEFAULT_SWEEP_POINTS, Sweep, SweepError
 
 from .api import Session
 from .api import registry
@@ -98,46 +100,33 @@ def _positive_int(text: str) -> int:
     return value
 
 
-#: Byte sizes accept power-of-two suffixes: ``4096``, ``32K``, ``1MiB``, ...
-_SIZE_PATTERN = re.compile(r"^(\d+)\s*(K|M|G)?(I?B)?$")
-_SIZE_SCALES = {"": 1, "K": 1024, "M": 1024**2, "G": 1024**3}
-
-
 def _parse_size(text: str) -> int:
-    """Parse a byte size like ``4096``, ``32K``, or ``1MiB``."""
-    match = _SIZE_PATTERN.match(text.strip().upper())
-    if not match:
-        raise _ArgsError(f"cannot parse size {text!r} (use bytes or K/M/G suffixes)")
-    value = int(match.group(1))
-    if value <= 0:
-        raise _ArgsError(f"sizes must be positive, got {text!r}")
-    return value * _SIZE_SCALES[match.group(2) or ""]
+    """Parse a byte size like ``4096``, ``32K``, or ``1MiB``.
+
+    Thin CLI adapter over :func:`repro.sweep.parse_size` — the single parser
+    shared with the API, the server, and the explorer — converting
+    :class:`~repro.sweep.SweepError` into the exit-code-2 path.
+    """
+    try:
+        return sweepmod.parse_size(text)
+    except SweepError as exc:
+        raise _ArgsError(str(exc)) from None
 
 
-#: Default number of sweep points when ``--sweep MIN:MAX`` omits the count.
-DEFAULT_SWEEP_POINTS = 16
+def _sweep_sizes(spec: str, *, label: str = "--sweep") -> List[int]:
+    """Expand ``MIN:MAX[:POINTS]`` via the shared :mod:`repro.sweep` parser."""
+    try:
+        return sweepmod.expand_range(spec, label=label)
+    except SweepError as exc:
+        raise _ArgsError(str(exc)) from None
 
 
-def _sweep_sizes(spec: str) -> List[int]:
-    """Expand ``MIN:MAX[:POINTS]`` into a log-spaced list of byte sizes."""
-    parts = spec.split(":")
-    if len(parts) not in (2, 3):
-        raise _ArgsError(f"--sweep takes MIN:MAX[:POINTS], got {spec!r}")
-    low = _parse_size(parts[0])
-    high = _parse_size(parts[1])
-    points = DEFAULT_SWEEP_POINTS
-    if len(parts) == 3:
-        try:
-            points = int(parts[2])
-        except ValueError:
-            raise _ArgsError(f"--sweep point count must be an integer, got {parts[2]!r}") from None
-    if points < 2:
-        raise _ArgsError(f"--sweep needs at least 2 points, got {points}")
-    if high <= low:
-        raise _ArgsError(f"--sweep MAX must exceed MIN, got {spec!r}")
-    ratio = high / low
-    sizes = {round(low * ratio ** (index / (points - 1))) for index in range(points)}
-    return sorted(sizes)
+def _axis_values(spec: str, *, label: str) -> List[int]:
+    """Parse a CSV-of-sizes-and-ranges axis spec (``explore`` flags)."""
+    try:
+        return list(Sweep.parse(spec, label=label).values)
+    except SweepError as exc:
+        raise _ArgsError(str(exc)) from None
 
 
 def _curve_capacities(args, machine: MachineModel) -> List[int]:
@@ -149,9 +138,7 @@ def _curve_capacities(args, machine: MachineModel) -> List[int]:
     """
     sizes = set()
     if args.capacities:
-        for item in args.capacities.split(","):
-            if item.strip():
-                sizes.add(_parse_size(item))
+        sizes.update(_axis_values(args.capacities, label="--capacities"))
     if args.sweep:
         sizes.update(_sweep_sizes(args.sweep))
     if not sizes:
@@ -312,11 +299,22 @@ def _model_stats_line(result: ModelResult, cached: bool, store_enabled: bool) ->
     return ", ".join(parts)
 
 
-def _simulator(machine: MachineModel, associativity: Optional[int], backend: str = "auto") -> DineroSimulator:
+def _simulator(
+    machine: MachineModel,
+    associativity: Optional[int],
+    backend: str = "auto",
+    *,
+    policy: str = "lru",
+    prefetch_degree: int = 0,
+) -> DineroSimulator:
     return DineroSimulator(
         [
             CacheLevelConfig(
-                cache_size=level.size, line_size=machine.line_size, associativity=associativity
+                cache_size=level.size,
+                line_size=machine.line_size,
+                associativity=associativity,
+                policy=policy,
+                prefetch_degree=prefetch_degree,
             )
             for level in machine.levels
         ],
@@ -486,6 +484,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     sim_parser = subparsers.add_parser("simulate", help="run the trace-driven simulator")
     _add_cache_arguments(sim_parser)
     sim_parser.add_argument("--associativity", type=int, default=None, help="ways (default: fully associative)")
+    sim_parser.add_argument(
+        "--policy",
+        choices=["lru", "fifo", "tree-plru"],
+        default="lru",
+        help="replacement policy for set-associative levels (default lru)",
+    )
+    sim_parser.add_argument(
+        "--prefetch-degree",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help="next-line prefetcher: install N sequential lines on every miss "
+        "(default 0 = disabled; forces the reference simulator)",
+    )
     _add_backend_argument(sim_parser)
 
     curve_parser = subparsers.add_parser(
@@ -515,6 +527,68 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_workers_argument(curve_parser)
     _add_store_arguments(curve_parser)
     _add_backend_argument(curve_parser)
+
+    explore_parser = subparsers.add_parser(
+        "explore",
+        help="design-space explorer: rank a tile x capacity x line-size x "
+        "associativity grid and report its Pareto front (docs/EXPLORE.md)",
+    )
+    _add_cache_arguments(explore_parser)
+    explore_parser.add_argument(
+        "--tiles",
+        metavar="LIST",
+        default=None,
+        help="tile sizes to explore (comma-separated values and MIN:MAX[:POINTS] "
+        "ranges; 1 = untiled; default: 1 only)",
+    )
+    explore_parser.add_argument(
+        "--capacities",
+        metavar="LIST",
+        default=None,
+        help="cache capacities to explore (comma-separated sizes and "
+        "MIN:MAX[:POINTS] ranges, K/M/G suffixes ok; combines with --sweep; "
+        "default: the machine's hierarchy levels)",
+    )
+    explore_parser.add_argument(
+        "--sweep",
+        metavar="MIN:MAX[:POINTS]",
+        default=None,
+        help="log-spaced capacity sweep (same syntax as the curve command); "
+        "combines with --capacities",
+    )
+    explore_parser.add_argument(
+        "--line-sizes",
+        metavar="LIST",
+        default=None,
+        help="cache line sizes to explore (default: the machine's line size)",
+    )
+    explore_parser.add_argument(
+        "--associativities",
+        metavar="LIST",
+        default=None,
+        help="way counts for the hardware-cost axis (the miss prediction is "
+        "associativity-blind; default: fully associative)",
+    )
+    explore_parser.add_argument(
+        "--pareto", action="store_true", help="print only the Pareto-optimal rows"
+    )
+    explore_parser.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="print at most N ranked rows (default: all)",
+    )
+    explore_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output instead of a table"
+    )
+    explore_parser.add_argument(
+        "--no-fallback", action="store_true", help="fail instead of falling back to the trace"
+    )
+    _add_budget_argument(explore_parser)
+    _add_workers_argument(explore_parser)
+    _add_store_arguments(explore_parser)
+    _add_backend_argument(explore_parser)
 
     cmp_parser = subparsers.add_parser("compare", help="run both and compare the miss counts")
     _add_cache_arguments(cmp_parser)
@@ -696,19 +770,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "curve":
         return _run_curve(args, machine, scop)
 
+    if args.command == "explore":
+        return _run_explore(args, machine)
+
     if args.command == "simulate":
+        if args.associativity is None and args.policy != "lru":
+            print("--policy requires --associativity (fully associative caches are LRU)", file=sys.stderr)
+            return 2
         try:
-            result = _simulator(machine, args.associativity, args.backend).run(scop)
+            result = _simulator(
+                machine,
+                args.associativity,
+                args.backend,
+                policy=args.policy,
+                prefetch_degree=args.prefetch_degree,
+            ).run(scop)
         except BackendUnavailableError as exc:
             # $REPRO_BACKEND itself was validated at entry; this is the
             # explicit-numpy-without-NumPy case.
             print(str(exc), file=sys.stderr)
             return 2
         rows = [
-            (f"L{i+1}", stats.accesses, stats.compulsory_misses, stats.capacity_misses + stats.conflict_misses, stats.misses, stats.hits)
+            (f"L{i+1}", stats.accesses, stats.compulsory_misses, stats.capacity_misses + stats.conflict_misses, stats.misses, stats.hits, stats.writebacks)
             for i, stats in enumerate(result.levels)
         ]
-        print(format_table(["level", "accesses", "compulsory", "other misses", "misses", "hits"], rows,
+        print(format_table(["level", "accesses", "compulsory", "other misses", "misses", "hits", "writebacks"], rows,
                            title=f"{scop.name} ({args.dataset}) — trace simulation"))
         print(f"simulation time: {result.elapsed_seconds:.3f}s for {result.accesses} accesses")
         return 0
@@ -824,6 +910,87 @@ def _run_curve(args, machine: MachineModel, scop, *, structural: bool = False) -
         title += " (exact, from trace fallback)"
     print(format_miss_curve(curve, sweep, title=title))
     print(_model_stats_line(result, cached, not args.no_store))
+    return 0
+
+
+def _run_explore(args, machine: MachineModel) -> int:
+    """``explore`` subcommand: rank a design grid, print its Pareto front.
+
+    One symbolic analysis per (tile, line size); the capacity and
+    associativity axes ride the parametric miss curve for free (see
+    :mod:`repro.explore`).  Axis flags all parse through :mod:`repro.sweep`.
+    """
+    try:
+        capacities = set()
+        if args.capacities:
+            capacities.update(_axis_values(args.capacities, label="--capacities"))
+        if args.sweep:
+            capacities.update(_sweep_sizes(args.sweep))
+        tiles = _axis_values(args.tiles, label="--tiles") if args.tiles else None
+        line_sizes = (
+            _axis_values(args.line_sizes, label="--line-sizes") if args.line_sizes else None
+        )
+        ways = (
+            _axis_values(args.associativities, label="--associativities")
+            if args.associativities
+            else None
+        )
+    except _ArgsError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        session = _session_from_args(args, machine)
+        result = session.explore(
+            args.kernel,
+            args.dataset,
+            tiles=tiles,
+            capacities=sorted(capacities) or None,
+            line_sizes=line_sizes,
+            associativities=ways,
+        )
+    except SessionConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        payload = result.to_dict()
+        payload["table_digest"] = result.table_digest()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    configs = result.front() if args.pareto else result.configs
+    shown = configs[: args.limit] if args.limit else configs
+    rows = [
+        (
+            rank + 1,
+            config.tile,
+            config.line_size,
+            config.associativity if config.associativity is not None else "full",
+            config.capacity_bytes,
+            config.misses,
+            f"{100 * config.miss_ratio:.2f}%",
+            config.cost,
+            "*" if config.pareto else "",
+        )
+        for rank, config in enumerate(shown)
+    ]
+    mode = "Pareto front" if args.pareto else "ranked configurations"
+    title = (
+        f"{result.kernel} ({args.dataset}) — {mode}: "
+        f"{len(result.configs)} configs from {result.analyses} analyses"
+    )
+    print(
+        format_table(
+            ["rank", "tile", "line", "ways", "capacity [B]", "misses", "miss %", "cost", "pareto"],
+            rows,
+            title=title,
+        )
+    )
+    if args.limit and len(configs) > args.limit:
+        print(f"... {len(configs) - args.limit} more rows (raise --limit or use --json)")
+    print(
+        f"explore time: {result.elapsed_seconds:.2f}s, "
+        f"{result.analyses} analyses for {len(result.configs)} configurations, "
+        f"table digest {result.table_digest()[:12]}"
+    )
     return 0
 
 

@@ -4,7 +4,7 @@ from .capacity import CapacityCounter, CapacityCountStats, CounterOptions
 from .config import KIB, MIB, CacheLevelSpec, MachineModel
 from .curve import MissCurve
 from .distance import AccessDistances, DistancePiece, StackDistanceAnalysis
-from .model import CacheModel, ModelOptions, analyze_kernel
+from .model import CacheModel, ModelOptions
 from .prevmap import ModelFallbackRequired, PrevMapBuilder, PrevRegion
 from .results import AccessMissCounts, LevelMissCounts, ModelResult, TimingBreakdown
 
@@ -29,5 +29,4 @@ __all__ = [
     "PrevRegion",
     "StackDistanceAnalysis",
     "TimingBreakdown",
-    "analyze_kernel",
 ]

@@ -44,7 +44,7 @@ from .distance import StackDistanceAnalysis
 from .prevmap import ModelFallbackRequired
 from .results import AccessMissCounts, LevelMissCounts, ModelResult, TimingBreakdown
 
-__all__ = ["CacheModel", "ModelOptions", "analyze_kernel"]
+__all__ = ["CacheModel", "ModelOptions"]
 
 
 @dataclass
@@ -480,24 +480,3 @@ class CacheModel:
                     f"trace=({reference_level.compulsory}, {reference_level.capacity})"
                 )
 
-
-def analyze_kernel(
-    scop: Scop,
-    machine: Optional[MachineModel] = None,
-    options: Optional[ModelOptions] = None,
-) -> ModelResult:
-    """Deprecated wrapper around :class:`repro.api.Session`.
-
-    Prefer ``Session().machine(machine).analyze(scop)`` — the session façade
-    owns machine model, options, budget, and store in one place.  This shim
-    keeps old call sites working and will be removed in a future release.
-    """
-    import warnings
-
-    warnings.warn(
-        "analyze_kernel() is deprecated; use repro.api.Session "
-        "(e.g. Session().machine(...).analyze(scop)) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return CacheModel(machine, options).analyze(scop)

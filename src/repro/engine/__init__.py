@@ -41,7 +41,6 @@ __all__ = [
     "expand_matrix",
     "job_digest",
     "make_store_spec",
-    "run_batch",
     "stable_digest",
     "validate_store_env",
     "validate_store_path",
@@ -52,7 +51,6 @@ _LAZY = {
     "BatchResult": "batch",
     "JobError": "batch",
     "JobRecord": "batch",
-    "run_batch": "batch",
     "JobSpec": "jobs",
     "expand_matrix": "jobs",
     "AnalysisStore": "store",

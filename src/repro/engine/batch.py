@@ -28,7 +28,6 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -37,7 +36,7 @@ from ..core.results import ModelResult
 from .jobs import JobSpec
 from .store import AnalysisStore, job_digest
 
-__all__ = ["BatchEngine", "BatchResult", "JobError", "JobRecord", "run_batch"]
+__all__ = ["BatchEngine", "BatchResult", "JobError", "JobRecord"]
 
 #: JSON schema version of the serialized batch payload.  Version 3 added
 #: ``schema_version`` to the embedded model results and the ``index`` field
@@ -449,21 +448,3 @@ def _record_from_store(spec: JobSpec, payload: Dict) -> Optional[JobRecord]:
     record.cached = True
     return record
 
-
-def run_batch(
-    specs: Sequence[JobSpec], jobs: int = 1, store_path: Optional[str] = None
-) -> BatchResult:
-    """Deprecated wrapper around :class:`repro.api.Session` batch runs.
-
-    Prefer ``Session().workers(jobs).store(store_path).run(specs)`` — the
-    session façade owns machine model, options, budget, and store in one
-    place.  This shim keeps old call sites working and will be removed in a
-    future release.
-    """
-    warnings.warn(
-        "run_batch() is deprecated; use repro.api.Session "
-        "(e.g. Session().workers(n).run(specs)) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return BatchEngine(jobs, store_path).run(specs)

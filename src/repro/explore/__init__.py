@@ -1,0 +1,41 @@
+"""Design-space exploration: parametric tile × capacity × hierarchy grids.
+
+Public surface::
+
+    from repro.explore import DesignSpace, run_explore, pareto_front
+
+    space = DesignSpace.from_specs(tiles="1,4,8,16", capacities="1K:1M:16")
+    result = run_explore(session, scop, space)
+    for config in result.front():
+        ...
+
+Most callers reach this through :meth:`repro.api.Session.explore`, the
+``repro-haystack explore`` command, or the server's ``/v1/explore`` endpoint
+— all three delegate here, and all parse their axis specs through
+:mod:`repro.sweep`.  The anatomy of the output is documented in
+``docs/EXPLORE.md``.
+"""
+
+from .engine import (
+    EXPLORE_SCHEMA_VERSION,
+    ExploreConfig,
+    ExploreResult,
+    build_result,
+    config_cost,
+    run_explore,
+)
+from .pareto import dominates, pareto_front
+from .space import DesignSpace, DesignSpaceError
+
+__all__ = [
+    "EXPLORE_SCHEMA_VERSION",
+    "DesignSpace",
+    "DesignSpaceError",
+    "ExploreConfig",
+    "ExploreResult",
+    "build_result",
+    "config_cost",
+    "dominates",
+    "pareto_front",
+    "run_explore",
+]

@@ -1,0 +1,52 @@
+"""Pareto-front selection over minimize-everything objective vectors.
+
+The explorer ranks design points on two objectives — predicted misses and a
+hardware cost proxy — but the helpers here are dimension-agnostic: an
+objective vector is any tuple of comparable numbers where *smaller is
+better* on every axis.  Property tests in ``tests/test_explore.py`` hold the
+two defining invariants under hypothesis-generated inputs: no front member
+dominates another, and every excluded point is dominated by some front
+member.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+__all__ = ["dominates", "pareto_front"]
+
+T = TypeVar("T")
+
+Objective = Tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is at least as good everywhere and better somewhere.
+
+    Equal vectors do not dominate each other, so duplicated designs survive
+    side by side instead of arbitrarily evicting one another.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"objective vectors differ in length: {len(a)} vs {len(b)}")
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_front(
+    points: Sequence[T], key: Callable[[T], Sequence[float]] = lambda p: p
+) -> List[T]:
+    """The non-dominated subset of ``points``, in their original order.
+
+    ``key`` maps an item to its objective vector (identity by default, for
+    plain tuples).  The scan is O(n²), which is exact and plenty for design
+    grids of a few thousand configurations; the stable order keeps the
+    output deterministic for the bench digest.
+    """
+    objectives = [tuple(key(point)) for point in points]
+    front: List[T] = []
+    for index, point in enumerate(points):
+        mine = objectives[index]
+        if not any(
+            dominates(other, mine) for j, other in enumerate(objectives) if j != index
+        ):
+            front.append(point)
+    return front

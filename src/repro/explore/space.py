@@ -1,0 +1,143 @@
+"""Declarative design spaces: the grid the explorer walks.
+
+A :class:`DesignSpace` names four axes — tile sizes, cache capacities, line
+sizes, associativities — and the explorer exploits the model's structure so
+the grid costs far less than one analysis per configuration:
+
+* **tiles × line sizes** each need their own symbolic analysis (tiling
+  rewrites the schedule via ``repro.scop.schedule.tile_scop``; the line size
+  changes which accesses share a cache line);
+* **capacities** are free: one parametric counting pass per analysis yields
+  a :class:`~repro.core.MissCurve` that answers every capacity;
+* **associativities** are free too: the analytical model is fully
+  associative by design (the paper attributes its residual error to
+  associativity and replacement policy), so every associativity shares the
+  same predicted miss count and differs only in the hardware-cost proxy.
+
+Axis specs accept everything :class:`repro.sweep.Sweep` parses — ints,
+``"MIN:MAX[:POINTS]"`` ranges, K/M/G sizes, CSV strings, iterables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core import MachineModel
+from ..sweep import Sweep, SweepError, SweepSpec
+
+__all__ = ["DesignSpace", "DesignSpaceError"]
+
+
+class DesignSpaceError(ValueError):
+    """An axis spec that cannot form a valid design space."""
+
+
+def _axis(spec: SweepSpec, label: str) -> Tuple[int, ...]:
+    try:
+        return Sweep.parse(spec, label=label).values
+    except SweepError as exc:
+        raise DesignSpaceError(str(exc)) from None
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """The cartesian grid of explored configurations.
+
+    ``tiles`` always contains at least ``1`` (the untiled schedule);
+    ``capacities`` must be non-empty by the time the explorer runs (the
+    explorer defaults it from the session machine when omitted);
+    ``line_sizes`` empty means "the machine's line size";
+    ``associativities`` holds positive way counts, with ``None`` meaning
+    fully associative.
+    """
+
+    tiles: Tuple[int, ...] = (1,)
+    capacities: Tuple[int, ...] = ()
+    line_sizes: Tuple[int, ...] = ()
+    associativities: Tuple[Optional[int], ...] = (None,)
+
+    @classmethod
+    def from_specs(
+        cls,
+        *,
+        tiles: SweepSpec = None,
+        capacities: SweepSpec = None,
+        line_sizes: SweepSpec = None,
+        associativities: SweepSpec = None,
+    ) -> "DesignSpace":
+        """Build a space from sweep specs, one per axis (all optional)."""
+        ways: Tuple[Optional[int], ...] = (None,)
+        if associativities is not None:
+            ways = _axis(associativities, "associativities") or (None,)
+        space = cls(
+            tiles=_axis(tiles, "tiles") or (1,),
+            capacities=_axis(capacities, "capacities"),
+            line_sizes=_axis(line_sizes, "line_sizes"),
+            associativities=ways,
+        )
+        space.validate()
+        return space
+
+    @classmethod
+    def hierarchy(cls, machine: MachineModel, *, tiles: SweepSpec = None) -> "DesignSpace":
+        """Preset: sweep the capacities and line size of a concrete machine.
+
+        The capacity axis is the machine's hierarchy levels, the line-size
+        axis its line size — so the grid reads as "this machine, at every
+        level, under these tilings".
+        """
+        return cls.from_specs(
+            tiles=tiles,
+            capacities=sorted({level.size for level in machine.levels}),
+            line_sizes=(machine.line_size,),
+        )
+
+    def validate(self) -> None:
+        if not self.tiles or any(tile < 1 for tile in self.tiles):
+            raise DesignSpaceError(f"tiles must be >= 1, got {self.tiles}")
+        if any(size <= 0 for size in self.capacities):
+            raise DesignSpaceError(f"capacities must be positive, got {self.capacities}")
+        if any(size <= 0 for size in self.line_sizes):
+            raise DesignSpaceError(f"line sizes must be positive, got {self.line_sizes}")
+        for ways in self.associativities:
+            if ways is not None and ways < 1:
+                raise DesignSpaceError(f"associativities must be >= 1 or None, got {ways}")
+
+    def resolved(self, machine: MachineModel) -> "DesignSpace":
+        """Fill empty axes from a machine: capacities from its hierarchy
+        levels, line sizes from its line size."""
+        capacities = self.capacities or tuple(sorted({lvl.size for lvl in machine.levels}))
+        line_sizes = self.line_sizes or (machine.line_size,)
+        space = DesignSpace(self.tiles, capacities, line_sizes, self.associativities)
+        space.validate()
+        return space
+
+    # ------------------------------------------------------------------
+    # Shape accessors
+    # ------------------------------------------------------------------
+    def config_count(self) -> int:
+        """Configurations in the grid (requires resolved axes)."""
+        return (
+            len(self.tiles)
+            * len(self.capacities)
+            * len(self.line_sizes or (1,))
+            * len(self.associativities)
+        )
+
+    def analysis_count(self) -> int:
+        """Symbolic analyses the grid costs: one per (tile, line size).
+
+        The capacity and associativity axes ride along for free — this ratio
+        against :meth:`config_count` is what the bench ``explore`` workload
+        gates.
+        """
+        return len(self.tiles) * len(self.line_sizes or (1,))
+
+    def to_dict(self) -> dict:
+        return {
+            "tiles": list(self.tiles),
+            "capacities": list(self.capacities),
+            "line_sizes": list(self.line_sizes),
+            "associativities": [w for w in self.associativities],
+        }

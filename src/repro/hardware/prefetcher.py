@@ -30,15 +30,25 @@ class NextLinePrefetcher:
         if hit:
             return
         stats = self.cache.stats
-        saved = (stats.accesses, stats.hits, stats.compulsory_misses, stats.conflict_misses, stats.capacity_misses)
+        saved = (
+            stats.accesses,
+            stats.hits,
+            stats.compulsory_misses,
+            stats.conflict_misses,
+            stats.capacity_misses,
+            stats.writebacks,
+        )
         for distance in range(1, self.degree + 1):
             self.cache.access_line(line + distance)
             self.issued += 1
-        # Prefetches must not perturb the demand-access statistics.
+        # Prefetches must not perturb the demand-access statistics — that
+        # includes write-back counts: a line displaced by a prefetch is not
+        # charged as demand write-back traffic.
         (
             stats.accesses,
             stats.hits,
             stats.compulsory_misses,
             stats.conflict_misses,
             stats.capacity_misses,
+            stats.writebacks,
         ) = saved

@@ -40,8 +40,9 @@ __all__ = [
 #: Schema version of the ``BENCH_*.json`` payload (2 = added the ``trace``
 #: simulator workload; 3 = added the ``curve`` sweep workload; 4 = added the
 #: ``symbolic`` chamber-evaluation workload; 5 = added the ``serve`` live
-#: server workload; readers treat missing sections as absent).
-BENCH_SCHEMA = 5
+#: server workload; 6 = added the ``explore`` design-space workload; readers
+#: treat missing sections as absent).
+BENCH_SCHEMA = 6
 
 #: Named workload suites: kernels x datasets analysed under a deterministic
 #: work budget, plus a ``trace`` simulator workload that times the concrete
@@ -52,7 +53,9 @@ BENCH_SCHEMA = 5
 #: plus a ``symbolic`` workload that times the bulk chamber/grid evaluator
 #: (:mod:`repro.isl.veceval`) against the pure-Python piecewise walk, plus a
 #: ``serve`` workload that load-tests a live analysis server (coalescing,
-#: admission control, store dedup, request latency).
+#: admission control, store dedup, request latency), plus an ``explore``
+#: workload that prices a design-space grid (:mod:`repro.explore`) against
+#: independent per-configuration analyses and pins its Pareto table.
 #: ``smoke`` finishes in seconds (CI gate); ``full`` covers the whole
 #: PolyBench registry for offline trend tracking.
 SUITES: Dict[str, Dict] = {
@@ -89,6 +92,13 @@ SUITES: Dict[str, Dict] = {
             "clients": 8,
             "workers": 2,
         },
+        # Design-space explorer: a 4-tile x 16-capacity grid (64
+        # configurations, 4 analyses) against 64 independent store-cold
+        # analyses of the same configurations.  Gates: the grid must cost at
+        # most a quarter of the independent sweep (the per-axis parametric
+        # amortization claim) and the ranked table must be byte-identical
+        # across backends and worker counts, and stable against the baseline.
+        "explore": {"size": 16, "tiles": [1, 2, 4, 8], "points": 16, "max_cost_ratio": 0.25},
     },
     "full": {
         "kernels": "all",
@@ -106,6 +116,7 @@ SUITES: Dict[str, Dict] = {
             "clients": 8,
             "workers": 2,
         },
+        "explore": {"size": 24, "tiles": [1, 2, 4, 8, 16], "points": 16, "max_cost_ratio": 0.25},
     },
 }
 
@@ -247,9 +258,9 @@ def _curve_workload_scop(size: int):
 
 def _curve_sweep_bytes(points: int, line_size: int = 64) -> List[int]:
     """Log-spaced sweep from one line to 4096 lines (deterministic)."""
-    low, high = line_size, line_size * 4096
-    ratio = high / low
-    return sorted({round(low * ratio ** (index / (points - 1))) for index in range(points)})
+    from ..sweep import log_spaced
+
+    return log_spaced(line_size, line_size * 4096, points)
 
 
 def _run_curve_workload(config: Dict) -> Dict:
@@ -564,6 +575,93 @@ def _run_serve_workload(config: Dict) -> Dict:
     }
 
 
+def _run_explore_workload(config: Dict) -> Dict:
+    """Price a design-space grid against independent per-configuration runs.
+
+    Walks a ``tiles`` x ``points``-capacity grid of the curve-workload
+    matvec through :meth:`repro.api.Session.explore` (store-cold, no
+    budget), then analyzes the *same* configurations as independent
+    store-cold :meth:`~repro.api.Session.analyze` calls — one per (tile,
+    capacity), each against a machine of exactly that capacity.  The grid
+    shares one analysis per tile (the capacity axis rides along as
+    parametric :class:`~repro.core.MissCurve` breakpoints), so its wall time
+    must stay under ``max_cost_ratio`` times the independent sweep.
+
+    The ranked table is re-derived with the pure-Python backend, with the
+    NumPy backend (when installed), and with two piece workers; all must
+    produce a byte-identical :meth:`~repro.explore.ExploreResult.table_digest`
+    — the determinism half of the explore acceptance gate.  The digest also
+    rides into the report so :func:`compare_reports` can hold the table
+    stable against the committed baseline.
+    """
+    from ..api import Session
+    from ..scop.schedule import tile_scop
+    from ..simulator import numpy_available
+    from ..sweep import log_spaced
+
+    size = int(config.get("size", 16))
+    tiles = [int(tile) for tile in config.get("tiles", (1, 2, 4, 8))]
+    points = int(config.get("points", 16))
+    max_cost_ratio = float(config.get("max_cost_ratio", 0.25))
+    scop = _curve_workload_scop(size)
+    capacities = [64 * lines for lines in log_spaced(2, 1024, points)]
+
+    # Warm process-wide state with one untimed analysis (same convention as
+    # the curve workload) so the grid-vs-independent ratio is not dominated
+    # by whichever side pays the first-run interpreter and table costs.
+    Session().machine((8 * 64,)).no_store().analyze(_curve_workload_scop(size))
+
+    def grid_session() -> Session:
+        return Session().machine((max(capacities),)).no_store()
+
+    start = time.perf_counter()
+    result = grid_session().explore(scop, tiles=tiles, capacities=capacities)
+    grid_seconds = time.perf_counter() - start
+    digest = result.table_digest()
+
+    # The independent side gets the tiled variants for free: it pays one
+    # full analysis per configuration, nothing else.
+    variants = {tile: tile_scop(scop, tile) if tile > 1 else scop for tile in tiles}
+    start = time.perf_counter()
+    independent = 0
+    for tile in tiles:
+        for capacity in capacities:
+            Session().machine((capacity,)).no_store().analyze(variants[tile])
+            independent += 1
+    independent_seconds = time.perf_counter() - start
+
+    backends_match = (
+        grid_session().backend("python").explore(scop, tiles=tiles, capacities=capacities).table_digest()
+        == digest
+    )
+    if numpy_available():
+        backends_match = backends_match and (
+            grid_session().backend("numpy").explore(scop, tiles=tiles, capacities=capacities).table_digest()
+            == digest
+        )
+    workers_match = (
+        grid_session().piece_workers(2).explore(scop, tiles=tiles, capacities=capacities).table_digest()
+        == digest
+    )
+    return {
+        "kernel": scop.name,
+        "tiles": tiles,
+        "capacity_points": len(capacities),
+        "grid_size": len(result.configs),
+        "pareto_size": len(result.front()),
+        "analyses": result.analyses,
+        "independent_analyses": independent,
+        "grid_seconds": grid_seconds,
+        "independent_seconds": independent_seconds,
+        "cost_ratio": (grid_seconds / independent_seconds) if independent_seconds else None,
+        "max_cost_ratio": max_cost_ratio,
+        "table_digest": digest,
+        "backends_match": backends_match,
+        "workers_match": workers_match,
+        "numpy_available": numpy_available(),
+    }
+
+
 def run_suite(
     suite: str,
     *,
@@ -592,6 +690,7 @@ def run_suite(
     curve_entry = _run_curve_workload(config["curve"]) if config.get("curve") else None
     symbolic_entry = _run_symbolic_workload(config["symbolic"]) if config.get("symbolic") else None
     serve_entry = _run_serve_workload(config["serve"]) if config.get("serve") else None
+    explore_entry = _run_explore_workload(config["explore"]) if config.get("explore") else None
     batch = request.run()
 
     job_entries = []
@@ -652,6 +751,7 @@ def run_suite(
         "curve": curve_entry,
         "symbolic": symbolic_entry,
         "serve": serve_entry,
+        "explore": explore_entry,
     }
     return report
 
@@ -722,6 +822,12 @@ def compare_reports(
       shed, more engine jobs than unique specs, duplicates unaccounted by
       ``coalesced + cached`` — and on calibration-normalized p95 request
       latency collapsing past 4x the baseline (wall clock; skipped with
+      ``check_wall=False``);
+    * the ``explore`` design-space workload regresses when the ranked table
+      is not byte-identical across backends or worker counts, or when its
+      digest drifts from the baseline (accuracy — the grid is deterministic),
+      or when the grid costs more than ``max_cost_ratio`` times the
+      equivalent independent analyses (wall clock; skipped with
       ``check_wall=False``).
     """
     regressions: List[str] = []
@@ -771,6 +877,7 @@ def compare_reports(
     regressions.extend(_compare_curve_workload(current, baseline, check_wall=check_wall))
     regressions.extend(_compare_symbolic_workload(current, baseline))
     regressions.extend(_compare_serve_workload(current, baseline, check_wall=check_wall))
+    regressions.extend(_compare_explore_workload(current, baseline, check_wall=check_wall))
 
     if check_wall:
         baseline_norm = _normalized_wall(baseline)
@@ -985,6 +1092,43 @@ def _compare_serve_workload(current: Dict, baseline: Dict, *, check_wall: bool) 
     return regressions
 
 
+def _compare_explore_workload(current: Dict, baseline: Dict, *, check_wall: bool) -> List[str]:
+    """Design-space explorer regressions (see :func:`compare_reports`)."""
+    regressions: List[str] = []
+    now = current.get("explore")
+    base = baseline.get("explore")
+    if now is None:
+        if base is not None:
+            regressions.append("accuracy: explore workload missing from current report")
+        return regressions
+    if now.get("backends_match") is False:
+        regressions.append(
+            "accuracy: explore workload table is not byte-identical across backends"
+        )
+    if now.get("workers_match") is False:
+        regressions.append(
+            "accuracy: explore workload table is not byte-identical across worker counts"
+        )
+    if (
+        base
+        and base.get("table_digest")
+        and now.get("table_digest") != base.get("table_digest")
+    ):
+        regressions.append(
+            "accuracy: explore workload ranked table changed against the baseline"
+        )
+    ratio = now.get("cost_ratio")
+    ceiling = now.get("max_cost_ratio") or (base or {}).get("max_cost_ratio") or 0.0
+    if check_wall and ratio is not None and ceiling and ratio > ceiling:
+        regressions.append(
+            f"performance: {now.get('grid_size', 0)}-configuration explore grid costs "
+            f"{ratio:.2f}x the {now.get('independent_analyses', 0)} independent analyses "
+            f"(ceiling {ceiling:.2f}x; grid {now.get('grid_seconds', 0):.2f}s, "
+            f"independent {now.get('independent_seconds', 0):.2f}s)"
+        )
+    return regressions
+
+
 def format_bench_summary(report: Dict, regressions: Optional[Sequence[str]] = None) -> str:
     """Human-readable one-screen summary of a bench report."""
     totals = report.get("totals", {})
@@ -1055,6 +1199,22 @@ def format_bench_summary(report: Dict, regressions: Optional[Sequence[str]] = No
             f"{serve.get('unique_specs', 0)} unique specs on {serve.get('workers', 0)} worker(s): "
             f"{serve.get('engine_jobs', 0)} engine jobs, {serve.get('coalesced', 0)} coalesced, "
             f"{serve.get('cached', 0)} store hits, {serve.get('errors', 0)} errors, {latency}"
+        )
+    explore = report.get("explore")
+    if explore:
+        ratio = explore.get("cost_ratio")
+        ratio_text = f"{ratio:.2f}x" if ratio is not None else "n/a"
+        tables = (
+            "identical"
+            if explore.get("backends_match") and explore.get("workers_match")
+            else "DIFFER"
+        )
+        lines.append(
+            f"explore workload: {explore.get('grid_size', 0)}-config grid "
+            f"({explore.get('analyses', 0)} analyses) in {explore.get('grid_seconds', 0.0):.2f}s "
+            f"vs {explore.get('independent_analyses', 0)} independent analyses "
+            f"{explore.get('independent_seconds', 0.0):.2f}s ({ratio_text}, ceiling "
+            f"{explore.get('max_cost_ratio', 0):.2f}x), tables {tables}"
         )
     if regressions is not None:
         if regressions:

@@ -68,6 +68,12 @@ class ServerClient:
         or failure.  Returns the full envelope (``meta`` + ``result``)."""
         return self._checked("POST", "/v1/analyze", job)
 
+    def explore(self, job: Dict) -> Dict:
+        """One design-space request through ``/v1/explore``; raises
+        :class:`ServerError` on shed or failure.  Returns the envelope
+        (``meta`` with ``table_digest`` + the ``explore`` table)."""
+        return self._checked("POST", "/v1/explore", job)
+
     def batch_iter(self, jobs: List[Dict]) -> Iterator[Dict]:
         """Stream ``/v1/batch`` NDJSON records as the server emits them.
 

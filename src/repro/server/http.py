@@ -8,6 +8,9 @@ dependencies, and the protocol surface is four routes of JSON over
 * ``GET /stats`` — service + store counters (see
   :meth:`~repro.server.service.AnalysisService.stats`).
 * ``POST /v1/analyze`` — one job JSON in, one result envelope out.
+* ``POST /v1/explore`` — one design-space request in, one ranked
+  configuration table out (see
+  :meth:`~repro.server.service.AnalysisService.explore`).
 * ``POST /v1/batch`` — ``{"jobs": [...]}`` in, NDJSON out (chunked
   transfer encoding): one ``{"index": i, "status": s, "body": ...}`` line
   per job, streamed in completion order as the service finishes them.
@@ -164,6 +167,12 @@ class HttpServer:
             if body is None:
                 return 400, error_body("POST /v1/analyze needs a JSON job body")
             return await self.service.analyze(body)
+        if path == "/v1/explore":
+            if method != "POST":
+                return 405, error_body("use POST /v1/explore")
+            if body is None:
+                return 400, error_body("POST /v1/explore needs a JSON design-space body")
+            return await self.service.explore(body)
         return 404, error_body(f"unknown path {path!r}")
 
     async def _handle_batch(self, writer: asyncio.StreamWriter, body: Optional[Dict]) -> None:

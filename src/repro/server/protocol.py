@@ -11,10 +11,17 @@ One request describes one analysis job, mirroring what the CLI accepts:
       "machine": "paper-xeon",       // preset ...
       "levels": [32768, 262144],     // ... XOR explicit hierarchy
       "line_size": 64,               // only with "levels"
-      "capacities": [64, 1024],      // optional miss-curve sweep (bytes)
+      "capacities": [64, 1024],      // optional miss-curve sweep: list or
+                                     // "MIN:MAX[:POINTS]" string (repro.sweep)
+      "tile": 8,                     // optional schedule tiling (>= 1; tiled
+                                     // scops ship structurally, like explore)
       "budget": 2000,                // optional symbolic work budget
       "options": {"cross_check": false}
     }
+
+``/v1/explore`` requests share the program and machine fields but carry
+design-space axes instead of a single configuration — see
+:func:`build_explore_plan` and ``docs/EXPLORE.md``.
 
 :func:`build_spec` turns that into the same :class:`~repro.engine.jobs.JobSpec`
 the offline paths produce — an inline ``source`` parses through the real
@@ -31,12 +38,20 @@ flags); errors are ``{"error": "..."}`` with an HTTP-style status.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..api.session import Session, SessionConfigError
 from ..engine.jobs import JobSpec
 
-__all__ = ["RequestError", "build_spec", "error_body", "result_envelope"]
+__all__ = [
+    "ExplorePlan",
+    "RequestError",
+    "build_explore_plan",
+    "build_spec",
+    "error_body",
+    "result_envelope",
+]
 
 #: Upper bound on accepted request bodies (1 MiB of JSON / inline source).
 MAX_BODY_BYTES = 1 * 1024 * 1024
@@ -50,6 +65,27 @@ _KNOWN_FIELDS = frozenset(
         "levels",
         "line_size",
         "capacities",
+        "tile",
+        "budget",
+        "options",
+    }
+)
+
+#: ``/v1/explore`` requests: program + machine fields as above, plus the
+#: design-space axes.  Every axis accepts a list of ints/size strings or one
+#: ``"MIN:MAX[:POINTS]"`` sweep string — parsed by :mod:`repro.sweep`, the
+#: same helper behind ``Session.sweep`` and the CLI flags.
+_EXPLORE_FIELDS = frozenset(
+    {
+        "kernel",
+        "source",
+        "dataset",
+        "machine",
+        "levels",
+        "tiles",
+        "capacities",
+        "line_sizes",
+        "associativities",
         "budget",
         "options",
     }
@@ -116,9 +152,12 @@ def build_spec(payload: Dict, *, default_budget: Optional[int] = None) -> Tuple[
         session.budget(budget)
         capacities = payload.get("capacities")
         if capacities is not None:
-            if not isinstance(capacities, list):
-                raise RequestError('"capacities" must be a list of cache sizes in bytes')
-            session.capacities(*capacities)
+            if not isinstance(capacities, (list, str)):
+                raise RequestError(
+                    '"capacities" must be a list of cache sizes in bytes or a '
+                    '"MIN:MAX[:POINTS]" sweep string'
+                )
+            session.sweep(capacities=capacities)
         options = payload.get("options") or {}
         if not isinstance(options, dict):
             raise RequestError('"options" must be an object of model toggles')
@@ -127,12 +166,16 @@ def build_spec(payload: Dict, *, default_budget: Optional[int] = None) -> Tuple[
     except (SessionConfigError, ValueError, TypeError) as exc:
         raise RequestError(str(exc)) from None
 
+    tile = payload.get("tile", 1)
+    if not isinstance(tile, int) or isinstance(tile, bool) or tile < 1:
+        raise RequestError(f'"tile" must be an integer >= 1, got {tile!r}')
+
     if source is not None:
-        return _spec_from_source(session, str(source), payload.get("dataset"))
-    return _spec_from_kernel(session, str(kernel), payload.get("dataset"))
+        return _spec_from_source(session, str(source), payload.get("dataset"), tile)
+    return _spec_from_kernel(session, str(kernel), payload.get("dataset"), tile)
 
 
-def _spec_from_kernel(session: Session, kernel: str, dataset) -> Tuple[JobSpec, str]:
+def _spec_from_kernel(session: Session, kernel: str, dataset, tile: int = 1) -> Tuple[JobSpec, str]:
     from ..api import registry
 
     try:
@@ -144,10 +187,20 @@ def _spec_from_kernel(session: Session, kernel: str, dataset) -> Tuple[JobSpec, 
         raise RequestError(
             f"kernel {kernel!r} has no dataset {dataset!r}; available: {', '.join(entry.datasets)}"
         )
+    if tile > 1:
+        # A tiled schedule is a different program: build it and ship the
+        # scop so the structural fingerprint keys the store (exactly what
+        # Session.explore does offline, so the entries are shared).
+        from ..scop.schedule import tile_scop
+
+        scop = tile_scop(entry.build(dataset), tile)
+        return session.job_spec(kernel, dataset, scop=scop), kernel
     return session.job_spec(kernel, dataset), kernel
 
 
-def _spec_from_source(session: Session, source: str, dataset) -> Tuple[JobSpec, str]:
+def _spec_from_source(
+    session: Session, source: str, dataset, tile: int = 1
+) -> Tuple[JobSpec, str]:
     """Parse inline ``.knl`` text and ship the built scop in the spec.
 
     The scop carries the structural fingerprint into the store digest, so
@@ -163,7 +216,104 @@ def _spec_from_source(session: Session, source: str, dataset) -> Tuple[JobSpec, 
         scop = program.instantiate(program.dataset_sizes(dataset))
     except KernelParseError as exc:
         raise RequestError(exc.render()) from None
+    if tile > 1:
+        from ..scop.schedule import tile_scop
+
+        scop = tile_scop(scop, tile)
     return session.job_spec(program.name, dataset, scop=scop), program.name
+
+
+@dataclass
+class ExplorePlan:
+    """A validated ``/v1/explore`` request, expanded into analyze payloads.
+
+    ``jobs`` holds one ordinary ``/v1/analyze`` payload per (tile, line
+    size) — each with the whole capacity axis as curve breakpoints — so the
+    service can drive them through its coalescing/store/admission path
+    unchanged and assemble the table from the returned curves.
+    """
+
+    space: "DesignSpace"  # noqa: F821 - imported lazily below
+    dataset: Optional[str]
+    jobs: List[Tuple[int, int, Dict]]  #: (tile, line_size, analyze payload)
+
+
+def build_explore_plan(payload: Dict, *, default_budget: Optional[int] = None) -> ExplorePlan:
+    """Validate an explore request and expand its analysis jobs.
+
+    The design-space axes parse through :mod:`repro.sweep` (lists of
+    ints/size strings, or one sweep string per axis); the machine — a
+    ``machine`` preset or explicit ``levels``, like ``/v1/analyze`` —
+    resolves the default capacity axis (its hierarchy levels) and line size.
+    """
+    from ..explore import DesignSpace, DesignSpaceError
+
+    if not isinstance(payload, dict):
+        raise RequestError(f"request body must be a JSON object, got {type(payload).__name__}")
+    unknown = set(payload) - _EXPLORE_FIELDS
+    if unknown:
+        raise RequestError(
+            f"unknown explore field(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(_EXPLORE_FIELDS))}"
+        )
+    if (payload.get("kernel") is None) == (payload.get("source") is None):
+        raise RequestError('exactly one of "kernel" (registered name) or "source" (inline .knl text) is required')
+    if payload.get("machine") is not None and payload.get("levels") is not None:
+        raise RequestError('"machine" (preset) and "levels" (explicit hierarchy) are mutually exclusive')
+
+    session = Session()
+    try:
+        if payload.get("machine") is not None:
+            session.machine(str(payload["machine"]))
+        elif payload.get("levels") is not None:
+            levels = payload["levels"]
+            if not isinstance(levels, list) or not levels:
+                raise RequestError('"levels" must be a non-empty list of cache sizes in bytes')
+            session.machine([int(size) for size in levels])
+    except (SessionConfigError, ValueError, TypeError) as exc:
+        raise RequestError(str(exc)) from None
+
+    try:
+        space = DesignSpace.from_specs(
+            tiles=payload.get("tiles"),
+            capacities=payload.get("capacities"),
+            line_sizes=payload.get("line_sizes"),
+            associativities=payload.get("associativities"),
+        ).resolved(session.machine_model)
+    except DesignSpaceError as exc:
+        raise RequestError(str(exc)) from None
+
+    budget = payload.get("budget", default_budget)
+    if budget is not None and not isinstance(budget, int):
+        raise RequestError(f'"budget" must be an integer work-unit count, got {budget!r}')
+
+    # Resolve the effective dataset eagerly for kernel requests, exactly like
+    # :meth:`repro.api.Session.explore` — the dataset is part of the table
+    # payload, so leaving it implicit would fork the online/offline digests.
+    dataset = payload.get("dataset")
+    if payload.get("kernel") is not None and dataset is None:
+        from ..api import registry
+
+        try:
+            dataset = registry.get_kernel(str(payload["kernel"])).datasets[0]
+        except registry.RegistryError as exc:
+            raise RequestError(str(exc)) from None
+
+    program = {key: payload[key] for key in ("kernel", "source", "dataset") if key in payload}
+    jobs: List[Tuple[int, int, Dict]] = []
+    for line_size in space.line_sizes:
+        for tile in space.tiles:
+            job = dict(program)
+            job["levels"] = [max(space.capacities)]
+            job["line_size"] = line_size
+            job["capacities"] = list(space.capacities)
+            job["tile"] = tile
+            if budget is not None:
+                job["budget"] = budget
+            if payload.get("options"):
+                job["options"] = payload["options"]
+            jobs.append((tile, line_size, job))
+    return ExplorePlan(space=space, dataset=dataset, jobs=jobs)
 
 
 def result_envelope(

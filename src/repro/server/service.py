@@ -47,7 +47,13 @@ from typing import Dict, Optional, Tuple
 from ..engine.batch import _execute_job
 from ..engine.jobs import JobSpec
 from ..engine.store import AnalysisStore, job_digest, validate_store_env, validate_store_path
-from .protocol import RequestError, build_spec, error_body, result_envelope
+from .protocol import (
+    RequestError,
+    build_explore_plan,
+    build_spec,
+    error_body,
+    result_envelope,
+)
 
 __all__ = ["AnalysisService"]
 
@@ -94,6 +100,7 @@ class AnalysisService:
             "shed_capacity": 0,
             "shed_budget": 0,
             "engine_jobs": 0,
+            "explores": 0,
             "errors": 0,
         }
 
@@ -161,6 +168,64 @@ class AnalysisService:
         return 200, result_envelope(
             result, digest=digest, kernel=kernel, cached=cached, coalesced=False
         )
+
+    async def explore(self, payload: Dict) -> Tuple[int, Dict]:
+        """One ``/v1/explore`` request in, ``(status, body)`` out.
+
+        The plan expands to one ordinary analyze payload per (tile, line
+        size); each runs through :meth:`analyze`, so every sub-analysis gets
+        the full coalescing + write-through-store + admission treatment (a
+        shed sub-analysis sheds the whole explore).  Sub-analyses run
+        sequentially — the grid's cheapness comes from the parametric
+        capacity axis, not fan-out — and the assembled table is built by the
+        same :func:`repro.explore.build_result` the offline paths use, so
+        online and offline tables are identical for identical curves.
+        """
+        from ..core.curve import MissCurve
+        from ..explore import build_result
+
+        self._counters["explores"] += 1
+        try:
+            plan = build_explore_plan(payload, default_budget=self.default_budget)
+        except RequestError as exc:
+            return exc.status, error_body(exc)
+
+        curves: Dict[Tuple[int, int], MissCurve] = {}
+        kernel = None
+        cached = 0
+        for tile, line_size, job in plan.jobs:
+            status, body = await self.analyze(job)
+            if status != 200:
+                body = dict(body)
+                body["explore_config"] = {"tile": tile, "line_size": line_size}
+                return status, body
+            kernel = body["meta"]["kernel"]
+            cached += bool(body["meta"]["cached"])
+            curve_payload = body["result"].get("miss_curve")
+            if curve_payload is None:
+                self._counters["errors"] += 1
+                return 500, error_body(
+                    f"analysis for tile={tile} line_size={line_size} returned no miss curve"
+                )
+            curves[(tile, line_size)] = MissCurve.from_dict(curve_payload)
+
+        result = build_result(
+            plan.space,
+            lambda tile, line_size: curves[(tile, line_size)],
+            kernel=kernel or "",
+            dataset=plan.dataset,
+        )
+        table = result.to_dict()
+        table.pop("elapsed_seconds", None)
+        return 200, {
+            "meta": {
+                "kernel": kernel,
+                "analyses": result.analyses,
+                "cached": cached,
+                "table_digest": result.table_digest(),
+            },
+            "explore": table,
+        }
 
     def _budget_shed(self, spec: JobSpec) -> Optional[Dict]:
         """A 429 body when the request demands more work than allowed."""

@@ -51,8 +51,9 @@ class DineroSimulator:
     :func:`repro.simulator.vectorized.resolve_backend`): ``"numpy"`` runs
     the whole pipeline as array operations, ``"python"`` keeps the
     per-access reference loop, ``"auto"`` (default) prefers NumPy when it is
-    installed.  Replacement policies without a stack formulation (tree-PLRU,
-    FIFO) always run on the reference simulator.
+    installed.  Every replacement policy vectorizes (tree-PLRU and FIFO via
+    stable set grouping plus per-set replay); only prefetch-enabled levels
+    always run on the reference simulator.
     """
 
     def __init__(
@@ -67,15 +68,10 @@ class DineroSimulator:
         self.backend = backend
 
     def _vectorizable(self) -> bool:
-        """True when every level has a stack-formulated replacement policy
-        (so the vectorized pass will not fall back after generating the
-        trace — the expensive half of a run)."""
-        from .set_assoc import ReplacementPolicy
-
-        return all(
-            config.associativity is None or config.policy == ReplacementPolicy.LRU
-            for config in self.levels
-        )
+        """True when no level enables a prefetcher (so the vectorized pass
+        will not fall back after generating the trace — the expensive half
+        of a run).  All replacement policies are otherwise vectorizable."""
+        return all(not getattr(config, "prefetch_degree", 0) for config in self.levels)
 
     def run(self, scop: Scop) -> DineroResult:
         from .vectorized import resolve_backend
@@ -96,6 +92,7 @@ class DineroSimulator:
             for access in generator.accesses():
                 accesses += 1
                 hierarchy.access(access.address, is_write=access.is_write)
+            hierarchy.flush()  # same write-back convention as the vectorized pass
             stats = hierarchy.statistics()
         elapsed = time.perf_counter() - start
         return DineroResult(
@@ -120,10 +117,17 @@ def simulate_scop(
     line_size: int = 64,
     associativity: Optional[int] = None,
     policy: str = "lru",
+    prefetch_degree: int = 0,
 ) -> DineroResult:
     """Convenience helper: simulate ``scop`` against one or more cache sizes."""
     levels = [
-        CacheLevelConfig(cache_size=size, line_size=line_size, associativity=associativity, policy=policy)
+        CacheLevelConfig(
+            cache_size=size,
+            line_size=line_size,
+            associativity=associativity,
+            policy=policy,
+            prefetch_degree=prefetch_degree,
+        )
         for size in cache_sizes
     ]
     return DineroSimulator(levels).run(scop)

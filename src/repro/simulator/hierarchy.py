@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
+from ..hardware.prefetcher import NextLinePrefetcher
 from .lru import CacheStatistics, FullyAssociativeLRU
 from .set_assoc import ReplacementPolicy, SetAssociativeCache
 
@@ -13,13 +14,22 @@ __all__ = ["CacheLevelConfig", "CacheHierarchySimulator"]
 
 @dataclass(frozen=True)
 class CacheLevelConfig:
-    """Configuration of one cache hierarchy level."""
+    """Configuration of one cache hierarchy level.
+
+    ``prefetch_degree`` enables a next-line prefetcher on this level
+    (:class:`~repro.hardware.prefetcher.NextLinePrefetcher`): on every demand
+    miss the next ``prefetch_degree`` sequential lines are installed without
+    being charged as accesses.  The paper's model deliberately excludes
+    prefetchers; enabling one here lets the surrogate study how much
+    overfetch shifts the measured miss counts away from the prediction.
+    """
 
     cache_size: int
     line_size: int = 64
     associativity: Optional[int] = None  # None = fully associative
     policy: str = ReplacementPolicy.LRU
     name: str = ""
+    prefetch_degree: int = 0
 
     def label(self, level: int) -> str:
         return self.name or f"L{level + 1}"
@@ -29,10 +39,12 @@ class CacheHierarchySimulator:
     """Simulates an inclusive multi-level hierarchy.
 
     Every access is presented to every level (the inclusive model of the
-    paper: lower-level caches forward all accesses, write-through), so each
-    level behaves exactly like an isolated cache of its size observing the
-    full trace.  This matches the analytical model, which evaluates the same
-    stack distance against each level's capacity.
+    paper: lower-level caches forward all accesses), so each level behaves
+    exactly like an isolated cache of its size observing the full trace.
+    This matches the analytical model, which evaluates the same stack
+    distance against each level's capacity.  Levels with a
+    ``prefetch_degree`` additionally run a next-line prefetcher that
+    perturbs their replacement state on every demand miss.
     """
 
     def __init__(self, levels: Sequence[CacheLevelConfig]) -> None:
@@ -40,32 +52,63 @@ class CacheHierarchySimulator:
             raise ValueError("at least one cache level is required")
         self.configs = list(levels)
         self.caches = []
+        self.prefetchers: List[Optional[NextLinePrefetcher]] = []
         for config in self.configs:
             if config.associativity is None:
-                self.caches.append(FullyAssociativeLRU(config.cache_size, config.line_size))
+                cache = FullyAssociativeLRU(config.cache_size, config.line_size)
             else:
-                self.caches.append(
-                    SetAssociativeCache(
-                        config.cache_size,
-                        config.line_size,
-                        config.associativity,
-                        policy=config.policy,
-                    )
+                cache = SetAssociativeCache(
+                    config.cache_size,
+                    config.line_size,
+                    config.associativity,
+                    policy=config.policy,
                 )
+            self.caches.append(cache)
+            self.prefetchers.append(
+                NextLinePrefetcher(cache, degree=config.prefetch_degree)
+                if config.prefetch_degree > 0
+                else None
+            )
 
     def access(self, address: int, *, is_write: bool = False) -> List[bool]:
-        return [cache.access(address, is_write=is_write) for cache in self.caches]
+        results = []
+        for config, cache, prefetcher in zip(self.configs, self.caches, self.prefetchers):
+            line = address // config.line_size
+            hit = cache.access_line(line, is_write=is_write)
+            if prefetcher is not None:
+                prefetcher.observe(line, hit)
+            results.append(hit)
+        return results
+
+    def access_line(self, line: int) -> List[bool]:
+        """Present one cache-line index to every level (raw line traces)."""
+        results = []
+        for cache, prefetcher in zip(self.caches, self.prefetchers):
+            hit = cache.access_line(line)
+            if prefetcher is not None:
+                prefetcher.observe(line, hit)
+            results.append(hit)
+        return results
 
     def run(self, accesses: Iterable) -> List[CacheStatistics]:
-        """Run a trace of :class:`~repro.simulator.trace.MemoryAccess` objects."""
+        """Run a trace of :class:`~repro.simulator.trace.MemoryAccess` objects.
+
+        Ends with a :meth:`flush`, so write-back counters include the dirty
+        lines still resident when the trace ends.
+        """
         for access in accesses:
             if hasattr(access, "address"):
                 self.access(access.address, is_write=access.is_write)
             else:
                 # Raw line index trace.
-                for cache in self.caches:
-                    cache.access_line(access)
+                self.access_line(access)
+        self.flush()
         return self.statistics()
+
+    def flush(self) -> None:
+        """Write back every level's resident dirty lines."""
+        for cache in self.caches:
+            cache.flush()
 
     def statistics(self) -> List[CacheStatistics]:
         return [cache.stats for cache in self.caches]

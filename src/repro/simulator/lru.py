@@ -27,13 +27,20 @@ __all__ = [
 
 @dataclass
 class CacheStatistics:
-    """Hit/miss counters of a simulated cache."""
+    """Hit/miss counters of a simulated cache.
+
+    ``writebacks`` counts dirty-line evictions (plus the end-of-run flush of
+    a hierarchy run) — the write-back traffic a write-back/write-allocate
+    cache would generate.  Miss accounting is unchanged by the write policy:
+    under write-allocate a write misses exactly like a read.
+    """
 
     accesses: int = 0
     hits: int = 0
     compulsory_misses: int = 0
     capacity_misses: int = 0
     conflict_misses: int = 0
+    writebacks: int = 0
 
     @property
     def misses(self) -> int:
@@ -54,6 +61,7 @@ class CacheStatistics:
             "compulsory_misses": self.compulsory_misses,
             "capacity_misses": self.capacity_misses,
             "conflict_misses": self.conflict_misses,
+            "writebacks": self.writebacks,
             "misses": self.misses,
         }
 
@@ -63,8 +71,10 @@ class FullyAssociativeLRU:
 
     The cache distinguishes compulsory misses (first touch of a line) from
     capacity misses, which is what the analytical model predicts.  Writes
-    allocate the line (write-allocate) and are forwarded (write-through), so a
-    write behaves exactly like a read for miss accounting.
+    allocate the line (write-allocate), so a write behaves exactly like a
+    read for miss accounting; a per-line dirty bit additionally counts the
+    write-back traffic (``stats.writebacks``) a write-back cache would emit
+    — one write-back per dirty eviction, plus :meth:`flush` at end of run.
     """
 
     def __init__(self, cache_size: int, line_size: int = 64) -> None:
@@ -78,6 +88,7 @@ class FullyAssociativeLRU:
         self.stats = CacheStatistics()
         self._lines: "OrderedDict[int, None]" = OrderedDict()
         self._touched: set = set()
+        self._dirty: set = set()
 
     def access(self, address: int, *, is_write: bool = False) -> bool:
         """Access one byte address; returns ``True`` on a hit."""
@@ -87,6 +98,8 @@ class FullyAssociativeLRU:
         self.stats.accesses += 1
         if line in self._lines:
             self._lines.move_to_end(line)
+            if is_write:
+                self._dirty.add(line)
             self.stats.hits += 1
             return True
         if line in self._touched:
@@ -95,14 +108,25 @@ class FullyAssociativeLRU:
             self.stats.compulsory_misses += 1
             self._touched.add(line)
         self._lines[line] = None
+        if is_write:
+            self._dirty.add(line)
         if len(self._lines) > self.capacity_lines:
-            self._lines.popitem(last=False)
+            evicted, _ = self._lines.popitem(last=False)
+            if evicted in self._dirty:
+                self._dirty.discard(evicted)
+                self.stats.writebacks += 1
         return False
+
+    def flush(self) -> None:
+        """Write back every resident dirty line (end-of-run convention)."""
+        self.stats.writebacks += len(self._dirty)
+        self._dirty.clear()
 
     def reset(self) -> None:
         self.stats = CacheStatistics()
         self._lines.clear()
         self._touched.clear()
+        self._dirty.clear()
 
 
 def simulate_fully_associative(

@@ -79,10 +79,13 @@ class _TreePLRUSet:
                 high = mid
         return min(low, self.ways - 1)
 
-    def insert(self, tag: int) -> None:
+    def insert(self, tag: int) -> Optional[int]:
+        """Place ``tag`` on the victim way; returns the evicted tag, if any."""
         way = self.victim()
+        evicted = self.slots[way]
         self.slots[way] = tag
         self.touch(way)
+        return evicted
 
 
 class SetAssociativeCache:
@@ -105,6 +108,9 @@ class SetAssociativeCache:
         self.num_sets = cache_size // (line_size * associativity)
         self.stats = CacheStatistics()
         self._touched: set = set()
+        # Lines map to exactly one set, so one dirty set keyed by line index
+        # tracks write-back state for every set at once.
+        self._dirty: set = set()
         if policy == ReplacementPolicy.TREE_PLRU:
             self._plru_sets: Dict[int, _TreePLRUSet] = {}
         else:
@@ -119,7 +125,12 @@ class SetAssociativeCache:
     def access_line(self, line: int, *, is_write: bool = False) -> bool:
         self.stats.accesses += 1
         index = self._set_index(line)
-        hit = self._access_set(index, line)
+        hit, evicted = self._access_set(index, line)
+        if is_write:
+            self._dirty.add(line)
+        if evicted is not None and evicted in self._dirty:
+            self._dirty.discard(evicted)
+            self.stats.writebacks += 1
         if hit:
             self.stats.hits += 1
             return True
@@ -135,28 +146,35 @@ class SetAssociativeCache:
             self.stats.conflict_misses += 1
         return False
 
-    def _access_set(self, index: int, line: int) -> bool:
+    def _access_set(self, index: int, line: int) -> "tuple[bool, Optional[int]]":
+        """``(hit, evicted_line)`` of one access to one set."""
         if self.policy == ReplacementPolicy.TREE_PLRU:
             cache_set = self._plru_sets.setdefault(index, _TreePLRUSet(self.associativity))
             way = cache_set.lookup(line)
             if way is not None:
                 cache_set.touch(way)
-                return True
-            cache_set.insert(line)
-            return False
+                return True, None
+            return False, cache_set.insert(line)
         cache_set = self._sets.setdefault(index, OrderedDict())
         if line in cache_set:
             if self.policy == ReplacementPolicy.LRU:
                 cache_set.move_to_end(line)
-            return True
+            return True, None
         cache_set[line] = None
+        evicted = None
         if len(cache_set) > self.associativity:
-            cache_set.popitem(last=False)
-        return False
+            evicted, _ = cache_set.popitem(last=False)
+        return False, evicted
+
+    def flush(self) -> None:
+        """Write back every resident dirty line (end-of-run convention)."""
+        self.stats.writebacks += len(self._dirty)
+        self._dirty.clear()
 
     def reset(self) -> None:
         self.stats = CacheStatistics()
         self._touched.clear()
+        self._dirty.clear()
         if self.policy == ReplacementPolicy.TREE_PLRU:
             self._plru_sets = {}
         else:

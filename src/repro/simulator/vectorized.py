@@ -20,14 +20,23 @@ pipeline on NumPy arrays:
   bottom-up merge and batched ``searchsorted``;
 * **hit/miss evaluation** — fully associative LRU statistics fall out of the
   distance array directly; set-associative LRU statistics reuse the same
-  profiler on the trace grouped (stably) by set index.
+  profiler on the trace grouped (stably) by set index; tree-PLRU and FIFO —
+  which have no distance formulation — reuse the vectorized trace and the
+  same stable set grouping, replaying each set's (much shorter) subsequence
+  with a lean per-set loop (:func:`set_associative_policy_stats`);
+* **write-back accounting** — the ``writebacks`` counter of the reference
+  caches is recovered from the distance array by residency-period counting
+  (each miss starts a period; a period containing a write emits exactly one
+  write-back, at eviction or at the end-of-run flush).
 
 Every function is bit-exact against its reference: the trace order matches
 :meth:`TraceGenerator.accesses`, the distances match
 :class:`StackDistanceProfiler`, and the statistics match
-:class:`FullyAssociativeLRU` / :class:`SetAssociativeCache` (LRU policy).
-Replacement policies that are not stack algorithms (tree-PLRU, FIFO) have no
-distance formulation and stay on the reference implementation.
+:class:`FullyAssociativeLRU` / :class:`SetAssociativeCache` under the
+hierarchy's end-of-run flush convention.  Only prefetch-enabled levels
+(:attr:`CacheLevelConfig.prefetch_degree`) stay on the reference
+implementation — prefetches perturb replacement state mid-trace in a way no
+offline pass expresses.
 
 NumPy is an optional extra: :func:`resolve_backend` decides between the
 ``"numpy"`` and ``"python"`` implementations, honouring the
@@ -67,6 +76,7 @@ __all__ = [
     "misses_for_capacity",
     "numpy_available",
     "resolve_backend",
+    "set_associative_policy_stats",
     "set_associative_stats",
     "simulate_hierarchy_arrays",
     "stack_distances",
@@ -331,8 +341,35 @@ def _misses_from_distances(distances, capacity_lines: int) -> Tuple[int, int]:
     return compulsory, capacity
 
 
-def fully_associative_stats(lines, cache_size: int, line_size: int = 64) -> CacheStatistics:
-    """Statistics identical to :func:`simulate_fully_associative`."""
+def _count_writebacks(lines, distances, is_write, capacity_lines: int, np) -> int:
+    """LRU write-backs over this trace, end-of-run flush included.
+
+    Every miss starts a new residency period of its line (the line was not
+    in the cache, so any previous period ended with an eviction); a period
+    containing at least one write leaves the line dirty and emits exactly
+    one write-back — at its eviction, or at the final flush for the period
+    still resident when the trace ends.  Grouping accesses stably by line
+    makes periods contiguous runs, so one cumulative sum over the miss flags
+    labels them and one ``unique`` over the written labels counts them.
+    """
+    is_write = np.asarray(is_write, dtype=bool)
+    if not is_write.any():
+        return 0
+    miss = (distances < 0) | (distances > capacity_lines)
+    order = np.argsort(lines, kind="stable")
+    periods = np.cumsum(miss[order])
+    return int(np.unique(periods[is_write[order]]).size)
+
+
+def fully_associative_stats(
+    lines, cache_size: int, line_size: int = 64, *, is_write=None
+) -> CacheStatistics:
+    """Statistics identical to :func:`simulate_fully_associative`.
+
+    With ``is_write`` (a parallel bool array), ``writebacks`` is filled in
+    under the hierarchy's end-of-run flush convention
+    (:meth:`FullyAssociativeLRU.flush`); without it the counter stays zero.
+    """
     if cache_size <= 0 or line_size <= 0:
         raise ValueError("cache and line size must be positive")
     if cache_size % line_size:
@@ -340,7 +377,12 @@ def fully_associative_stats(lines, cache_size: int, line_size: int = 64) -> Cach
     np = _require_numpy()
     lines = np.asarray(lines, dtype=np.int64)
     distances = stack_distances(lines)
-    return _stats_from_distances(distances, cache_size // line_size, conflict=False)
+    stats = _stats_from_distances(distances, cache_size // line_size, conflict=False)
+    if is_write is not None:
+        stats.writebacks = _count_writebacks(
+            lines, distances, is_write, cache_size // line_size, np
+        )
+    return stats
 
 
 def set_associative_stats(
@@ -348,6 +390,8 @@ def set_associative_stats(
     cache_size: int,
     line_size: int = 64,
     associativity: int = 8,
+    *,
+    is_write=None,
 ) -> CacheStatistics:
     """Statistics identical to :class:`SetAssociativeCache` with LRU.
 
@@ -355,7 +399,8 @@ def set_associative_stats(
     per-set LRU stack distance decides hits; grouping the trace stably by set
     index lets one global profiling pass answer every set at once (lines of
     different sets never alias, and each group is contiguous after the stable
-    sort, so no reuse window spans a foreign set).
+    sort, so no reuse window spans a foreign set).  ``is_write`` fills in
+    ``writebacks`` exactly like :func:`fully_associative_stats`.
     """
     np = _require_numpy()
     if cache_size % (line_size * associativity):
@@ -365,7 +410,105 @@ def set_associative_stats(
     order = np.argsort(lines % num_sets, kind="stable")
     grouped = lines[order]
     distances = stack_distances(grouped)
-    return _stats_from_distances(distances, associativity, conflict=True)
+    stats = _stats_from_distances(distances, associativity, conflict=True)
+    if is_write is not None:
+        writes = np.asarray(is_write, dtype=bool)[order]
+        stats.writebacks = _count_writebacks(grouped, distances, writes, associativity, np)
+    return stats
+
+
+def set_associative_policy_stats(
+    lines,
+    cache_size: int,
+    line_size: int = 64,
+    associativity: int = 8,
+    *,
+    policy: str,
+    is_write=None,
+) -> CacheStatistics:
+    """Statistics identical to :class:`SetAssociativeCache` with FIFO/tree-PLRU.
+
+    Neither policy is a stack algorithm, so there is no distance
+    formulation; but sets never interact, so after the same stable
+    set-grouping :func:`set_associative_stats` uses, each set's (short)
+    subsequence is replayed by a lean per-set loop with exactly the
+    reference's replacement structures.  The vectorized trace generation and
+    grouping — the expensive part of a run — stay array operations.
+    ``is_write`` fills in ``writebacks`` under the end-of-run flush
+    convention, like the other statistics functions.
+    """
+    from collections import OrderedDict
+
+    from .set_assoc import ReplacementPolicy, _TreePLRUSet
+
+    if policy not in (ReplacementPolicy.FIFO, ReplacementPolicy.TREE_PLRU):
+        raise ValueError(f"unsupported replacement policy {policy!r}")
+    np = _require_numpy()
+    if cache_size % (line_size * associativity):
+        raise ValueError("cache size must be a multiple of line size * associativity")
+    lines = np.asarray(lines, dtype=np.int64)
+    n = int(lines.shape[0])
+    stats = CacheStatistics()
+    stats.accesses = n
+    if n == 0:
+        return stats
+    num_sets = cache_size // (line_size * associativity)
+    sets = lines % num_sets
+    order = np.argsort(sets, kind="stable")
+    grouped = lines[order]
+    grouped_sets = sets[order]
+    writes = np.asarray(is_write, dtype=bool)[order] if is_write is not None else None
+    boundaries = np.flatnonzero(grouped_sets[1:] != grouped_sets[:-1]) + 1
+    starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
+    ends = np.concatenate((boundaries, np.asarray([n], dtype=np.int64)))
+
+    hits = compulsory = writebacks = 0
+    for start, end in zip(starts.tolist(), ends.tolist()):
+        sequence = grouped[start:end].tolist()
+        written = writes[start:end].tolist() if writes is not None else None
+        seen: set = set()
+        dirty: set = set()
+        if policy == ReplacementPolicy.TREE_PLRU:
+            plru_set = _TreePLRUSet(associativity)
+            for position, line in enumerate(sequence):
+                way = plru_set.lookup(line)
+                if way is not None:
+                    plru_set.touch(way)
+                    hits += 1
+                else:
+                    if line not in seen:
+                        compulsory += 1
+                        seen.add(line)
+                    evicted = plru_set.insert(line)
+                    if evicted is not None and evicted in dirty:
+                        dirty.discard(evicted)
+                        writebacks += 1
+                if written is not None and written[position]:
+                    dirty.add(line)
+        else:  # FIFO: hits never reorder; misses enqueue and evict the oldest.
+            fifo_set: "OrderedDict[int, None]" = OrderedDict()
+            for position, line in enumerate(sequence):
+                if line in fifo_set:
+                    hits += 1
+                else:
+                    if line not in seen:
+                        compulsory += 1
+                        seen.add(line)
+                    fifo_set[line] = None
+                    if len(fifo_set) > associativity:
+                        evicted, _ = fifo_set.popitem(last=False)
+                        if evicted in dirty:
+                            dirty.discard(evicted)
+                            writebacks += 1
+                if written is not None and written[position]:
+                    dirty.add(line)
+        writebacks += len(dirty)  # end-of-run flush
+
+    stats.hits = hits
+    stats.compulsory_misses = compulsory
+    stats.conflict_misses = n - hits - compulsory
+    stats.writebacks = writebacks
+    return stats
 
 
 def _stats_from_distances(distances, capacity_lines: int, *, conflict: bool) -> CacheStatistics:
@@ -389,23 +532,47 @@ def simulate_hierarchy_arrays(trace: TraceArrays, configs: Sequence) -> Optional
     """Per-level statistics for an inclusive hierarchy, from one trace pass.
 
     Every level observes the full trace (the inclusive model), so levels are
-    independent.  Returns ``None`` when any level uses a replacement policy
-    the vectorized backend cannot express (tree-PLRU, FIFO); the caller then
-    falls back to the reference simulator.
+    independent.  Statistics — including ``writebacks`` — match
+    :meth:`CacheHierarchySimulator.run` (which ends with a flush) for every
+    replacement policy.  Returns ``None`` only when a level enables a
+    prefetcher (``prefetch_degree > 0``): prefetches perturb replacement
+    state mid-trace, which no offline pass expresses, so the caller falls
+    back to the reference simulator.
     """
     from .set_assoc import ReplacementPolicy
 
     results: List[CacheStatistics] = []
     for config in configs:
+        if getattr(config, "prefetch_degree", 0):
+            return None
         lines = trace.line_indices(config.line_size)
         if config.associativity is None:
-            results.append(fully_associative_stats(lines, config.cache_size, config.line_size))
+            results.append(
+                fully_associative_stats(
+                    lines, config.cache_size, config.line_size, is_write=trace.is_write
+                )
+            )
         elif config.policy == ReplacementPolicy.LRU:
             results.append(
-                set_associative_stats(lines, config.cache_size, config.line_size, config.associativity)
+                set_associative_stats(
+                    lines,
+                    config.cache_size,
+                    config.line_size,
+                    config.associativity,
+                    is_write=trace.is_write,
+                )
             )
         else:
-            return None
+            results.append(
+                set_associative_policy_stats(
+                    lines,
+                    config.cache_size,
+                    config.line_size,
+                    config.associativity,
+                    policy=config.policy,
+                    is_write=trace.is_write,
+                )
+            )
     return results
 
 

@@ -399,29 +399,26 @@ class TestSchemaVersion:
             BatchResult.from_dict(payload)
 
 
-class TestDeprecationShims:
-    def test_analyze_kernel_warns_and_still_works(self):
-        from repro.core import analyze_kernel
-        from repro.core.model import ModelOptions
+class TestRetiredShims:
+    """The deprecated ``analyze_kernel``/``run_batch`` wrappers are gone —
+    their Session replacements (README migration table) are the only path."""
 
-        scop = Session().build_scop("gemm", "mini")
-        with pytest.warns(DeprecationWarning, match="analyze_kernel.*Session"):
-            old = analyze_kernel(
-                scop,
-                MachineModel.single_level(1024),
-                ModelOptions(symbolic_work_budget=FAST_BUDGET),
-            )
-        new = Session().machine((1024,)).budget(FAST_BUDGET).analyze("gemm", "mini")
-        assert old.misses(0) == new.misses(0)
+    def test_analyze_kernel_is_removed(self):
+        import repro.core
+        import repro.core.model
 
-    def test_run_batch_warns_and_still_works(self):
-        from repro.engine import run_batch
+        assert not hasattr(repro.core, "analyze_kernel")
+        assert not hasattr(repro.core.model, "analyze_kernel")
+        assert "analyze_kernel" not in repro.core.__all__
 
-        session = Session().budget(FAST_BUDGET)
-        specs = session.kernels("gemm").datasets("mini").specs()
-        with pytest.warns(DeprecationWarning, match="run_batch.*Session"):
-            batch = run_batch(specs)
-        assert batch.ok_count == 1
+    def test_run_batch_is_removed(self):
+        import repro.engine
+        import repro.engine.batch
+
+        assert not hasattr(repro.engine.batch, "run_batch")
+        assert "run_batch" not in repro.engine.__all__
+        with pytest.raises(AttributeError):
+            repro.engine.run_batch  # noqa: B018 - lazy re-export must be gone
 
     def test_session_paths_emit_no_deprecation_warnings(self):
         with warnings.catch_warnings():

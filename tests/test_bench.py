@@ -542,6 +542,98 @@ class TestServeWorkload:
         assert serve["p95_seconds"] > 0
 
 
+class TestExploreWorkload:
+    def _explore_entry(self, **overrides):
+        entry = {
+            "kernel": "bench-curve-matvec",
+            "tiles": [1, 2, 4, 8],
+            "capacity_points": 16,
+            "grid_size": 64,
+            "pareto_size": 9,
+            "analyses": 4,
+            "independent_analyses": 64,
+            "grid_seconds": 1.0,
+            "independent_seconds": 15.0,
+            "cost_ratio": 1.0 / 15.0,
+            "max_cost_ratio": 0.25,
+            "table_digest": "abc123",
+            "backends_match": True,
+            "workers_match": True,
+            "numpy_available": True,
+        }
+        entry.update(overrides)
+        return entry
+
+    def _report(self, explore):
+        return {
+            "suite": "tiny",
+            "wall_seconds": 1.0,
+            "calibration_seconds": 0.1,
+            "jobs": [],
+            "totals": {"work_units": 0},
+            "explore": explore,
+        }
+
+    def test_run_suite_records_explore_workload(self, monkeypatch):
+        monkeypatch.setitem(
+            bench.SUITES,
+            "tiny",
+            dict(TINY_SUITE, explore={"size": 8, "tiles": [1, 2], "points": 4, "max_cost_ratio": 0.25}),
+        )
+        report = run_suite("tiny", store_path=None)
+        explore = report["explore"]
+        assert explore["kernel"] == "bench-curve-matvec"
+        assert explore["analyses"] == 2
+        assert explore["grid_size"] == 2 * explore["capacity_points"]
+        assert explore["independent_analyses"] == explore["grid_size"]
+        assert explore["grid_seconds"] > 0 and explore["independent_seconds"] > 0
+        assert explore["table_digest"]
+        assert explore["backends_match"] is True
+        assert explore["workers_match"] is True
+
+    def test_clean_explore_workload_passes(self):
+        report = self._report(self._explore_entry())
+        assert compare_reports(report, self._report(self._explore_entry()), check_wall=False) == []
+
+    def test_backend_divergence_is_accuracy_regression(self):
+        current = self._report(self._explore_entry(backends_match=False))
+        regressions = compare_reports(current, self._report(self._explore_entry()), check_wall=False)
+        assert any("across backends" in r for r in regressions)
+
+    def test_worker_divergence_is_accuracy_regression(self):
+        current = self._report(self._explore_entry(workers_match=False))
+        regressions = compare_reports(current, self._report(self._explore_entry()), check_wall=False)
+        assert any("across worker counts" in r for r in regressions)
+
+    def test_table_drift_is_accuracy_regression(self):
+        current = self._report(self._explore_entry(table_digest="def456"))
+        regressions = compare_reports(current, self._report(self._explore_entry()), check_wall=False)
+        assert any("ranked table changed" in r for r in regressions)
+
+    def test_cost_ratio_over_ceiling_is_performance_regression(self):
+        current = self._report(self._explore_entry(cost_ratio=0.5))
+        regressions = compare_reports(current, self._report(self._explore_entry()))
+        assert any("explore grid costs" in r for r in regressions)
+        # The ratio is a wall-clock metric: --no-wall disables the gate.
+        assert compare_reports(current, self._report(self._explore_entry()), check_wall=False) == []
+
+    def test_missing_explore_workload_is_flagged(self):
+        current = self._report(None)
+        regressions = compare_reports(current, self._report(self._explore_entry()), check_wall=False)
+        assert any("explore workload missing" in r for r in regressions)
+
+    def test_committed_smoke_baseline_records_the_grid_claim(self):
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        report = load_report(repo_root / "benchmarks" / "baselines" / "BENCH_smoke.json")
+        explore = report["explore"]
+        assert explore["grid_size"] == 64 and explore["analyses"] == 4
+        assert explore["backends_match"] is True and explore["workers_match"] is True
+        assert explore["max_cost_ratio"] <= 0.25
+        assert explore["cost_ratio"] <= explore["max_cost_ratio"]
+
+
 class TestBenchCli:
     def test_bench_writes_report(self, tmp_path, capsys):
         output = tmp_path / "BENCH_tiny.json"

@@ -46,6 +46,40 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "trace simulation" in out
 
+    def test_simulate_policy_and_prefetch(self, capsys):
+        rc = main(["simulate", "jacobi-1d", "--dataset", "mini",
+                   "--associativity", "4", "--policy", "tree-plru",
+                   "--prefetch-degree", "1"])
+        assert rc == 0
+        assert "writebacks" in capsys.readouterr().out
+
+    def test_simulate_policy_requires_associativity(self, capsys):
+        rc = main(["simulate", "jacobi-1d", "--dataset", "mini", "--policy", "fifo"])
+        assert rc == 2
+        assert "--associativity" in capsys.readouterr().err
+
+
+class TestExplore:
+    ARGS = ["explore", "trisolv", "--dataset", "mini", "--no-store",
+            "--tiles", "1,2", "--capacities", "1K,32K", *FAST]
+
+    def test_explore_ranks_grid(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "ranked configurations: 4 configs from 2 analyses" in out
+        assert "pareto" in out and "table digest" in out
+
+    def test_explore_pareto_limit_and_json(self, capsys):
+        assert main([*self.ARGS, "--json", "--pareto"]) == 0
+        table = json.loads(capsys.readouterr().out)
+        assert table["analyses"] == 2 and table["grid_size"] == 4
+        assert all(config["pareto"] for config in table["pareto"])
+
+    def test_explore_bad_axis_spec_exits_two(self, capsys):
+        rc = main(["explore", "trisolv", "--tiles", "2:1", "--no-store", *FAST])
+        assert rc == 2
+        assert "--tiles" in capsys.readouterr().err
+
 
 class TestCompare:
     def test_compare_agreement_exits_zero(self, capsys):

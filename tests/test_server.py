@@ -95,6 +95,50 @@ class TestBuildSpec:
         assert spec.curve_capacities == (64, 1024)
 
 
+class TestBuildExplorePlan:
+    def test_plan_expands_one_job_per_tile_and_line_size(self):
+        from repro.server.protocol import build_explore_plan
+
+        plan = build_explore_plan(
+            {
+                "kernel": "gemm",
+                "levels": [32 * 1024],
+                "tiles": "1,4",
+                "capacities": [1024, 32 * 1024],
+                "line_sizes": [32, 64],
+            },
+            default_budget=2000,
+        )
+        assert [(tile, line) for tile, line, _ in plan.jobs] == [(1, 32), (4, 32), (1, 64), (4, 64)]
+        for tile, line_size, job in plan.jobs:
+            # Each expanded job is an ordinary /v1/analyze payload: one level
+            # at the largest capacity, the whole axis as curve breakpoints.
+            assert job["tile"] == tile and job["line_size"] == line_size
+            assert job["levels"] == [32 * 1024]
+            assert job["capacities"] == [1024, 32 * 1024]
+            assert job["budget"] == 2000
+
+    def test_axes_default_from_the_machine(self):
+        from repro.server.protocol import build_explore_plan
+
+        plan = build_explore_plan({"kernel": "gemm", "levels": [4096, 65536]})
+        assert plan.space.capacities == (4096, 65536)
+        assert plan.space.tiles == (1,)
+        assert len(plan.jobs) == 1
+
+    def test_malformed_requests_rejected(self):
+        from repro.server.protocol import build_explore_plan
+
+        with pytest.raises(RequestError, match="unknown explore field"):
+            build_explore_plan({"kernel": "gemm", "line_size": 64})
+        with pytest.raises(RequestError, match="exactly one"):
+            build_explore_plan({"tiles": [1]})
+        with pytest.raises(RequestError, match="mutually exclusive"):
+            build_explore_plan({"kernel": "gemm", "machine": "paper-xeon", "levels": [1024]})
+        with pytest.raises(RequestError, match="tiles"):
+            build_explore_plan({"kernel": "gemm", "tiles": [0]})
+
+
 # ----------------------------------------------------------------------
 # Coalescing and admission (service level, deterministic)
 # ----------------------------------------------------------------------
@@ -279,6 +323,41 @@ class TestHttpServer:
                 client.analyze({"kernel": "gemm", "budget": 2000})
             assert excinfo.value.status == 429
             assert excinfo.value.body["shed"] == "budget"
+
+    def test_explore_round_trip_matches_offline_session(self, tmp_path):
+        spec_string = make_store_spec(tmp_path, "dir")
+        request = {
+            "kernel": "gemm",
+            "levels": [32 * 1024],
+            "tiles": [1, 4],
+            "capacities": [1024, 32 * 1024],
+            "budget": 2000,
+        }
+        with BackgroundServer(workers=0, store_path=spec_string) as server:
+            envelope = server.client().explore(request)
+        meta, table = envelope["meta"], envelope["explore"]
+        assert meta["kernel"] == "gemm" and meta["analyses"] == 2
+        assert table["grid_size"] == len(table["configs"]) == 4
+        assert [c["pareto"] for c in table["configs"]].count(True) == len(table["pareto"])
+        # The offline explorer over the same axes produces the identical
+        # table digest — shared assembly, shared store entries.
+        offline = (
+            Session()
+            .machine((32 * 1024,))
+            .budget(2000)
+            .store(spec_string)
+            .explore("gemm", tiles=[1, 4], capacities=[1024, 32 * 1024])
+        )
+        assert offline.table_digest() == meta["table_digest"]
+
+    def test_explore_request_validation_over_http(self):
+        with BackgroundServer(workers=0) as server:
+            client = server.client()
+            assert client.request("GET", "/v1/explore")[0] == 405
+            status, body = client.request("POST", "/v1/explore", {"kernel": "gemm", "bogus": 1})
+            assert status == 400 and "unknown explore field" in body["error"]
+            status, body = client.request("POST", "/v1/explore", {"tiles": [1]})
+            assert status == 400 and "exactly one" in body["error"]
 
     def test_batch_endpoint_streams_and_dedups(self, monkeypatch):
         worker = _CountingWorker()

@@ -217,15 +217,90 @@ def test_dinero_backends_agree():
         assert reference.as_dict() == vectorized.as_dict()
 
 
-def test_dinero_numpy_falls_back_for_plru():
-    """Policies without a stack formulation run the reference loop even
-    under backend='numpy' — and still produce a result."""
-    levels = [
-        CacheLevelConfig(cache_size=4 * 64, line_size=64, associativity=2, policy=ReplacementPolicy.TREE_PLRU)
-    ]
+@pytest.mark.parametrize("policy", [ReplacementPolicy.TREE_PLRU, ReplacementPolicy.FIFO])
+def test_dinero_backends_agree_for_non_stack_policies(policy):
+    """Tree-PLRU and FIFO vectorize via stable set grouping + per-set
+    replay; both backends must agree exactly, writebacks included."""
+    levels = [CacheLevelConfig(cache_size=4 * 64, line_size=64, associativity=2, policy=policy)]
     python_result = DineroSimulator(levels, backend="python").run(_gemm(4))
     numpy_result = DineroSimulator(levels, backend="numpy").run(_gemm(4))
     assert python_result.levels[0].as_dict() == numpy_result.levels[0].as_dict()
+
+
+def test_dinero_numpy_falls_back_for_prefetch():
+    """Prefetch-enabled levels cannot vectorize (replacement state is
+    perturbed mid-trace); the numpy backend must fall back and agree."""
+    levels = [CacheLevelConfig(cache_size=4 * 64, line_size=64, associativity=2, prefetch_degree=1)]
+    assert not DineroSimulator(levels, backend="numpy")._vectorizable()
+    python_result = DineroSimulator(levels, backend="python").run(_gemm(4))
+    numpy_result = DineroSimulator(levels, backend="numpy").run(_gemm(4))
+    assert python_result.levels[0].as_dict() == numpy_result.levels[0].as_dict()
+
+
+def test_prefetcher_changes_misses_but_not_accesses():
+    """A next-line prefetcher perturbs replacement state (miss counts may
+    move) without being charged demand accesses."""
+    base = [CacheLevelConfig(cache_size=4 * 64, line_size=64, associativity=2)]
+    prefetch = [CacheLevelConfig(cache_size=4 * 64, line_size=64, associativity=2, prefetch_degree=2)]
+    scop = _gemm(5)
+    without = DineroSimulator(base, backend="python").run(scop)
+    with_pf = DineroSimulator(prefetch, backend="python").run(scop)
+    assert with_pf.levels[0].accesses == without.levels[0].accesses
+    assert with_pf.accesses == without.accesses
+    assert with_pf.levels[0].misses != without.levels[0].misses
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=31), st.booleans()),
+        min_size=0,
+        max_size=250,
+    ),
+    st.sampled_from([(8, 2), (16, 4), (4, 1)]),
+)
+@settings(max_examples=40, deadline=None)
+def test_vectorized_writebacks_match_reference(accesses, geometry):
+    """Residency-period write-back counting equals the reference dirty-bit
+    simulation (flush included) for fully associative and set-assoc LRU."""
+    lines, ways = geometry
+    trace = [line for line, _ in accesses]
+    writes = [is_write for _, is_write in accesses]
+
+    full = FullyAssociativeLRU(lines * 64, 64)
+    for line, is_write in accesses:
+        full.access_line(line, is_write=is_write)
+    full.flush()
+    vectorized = fully_associative_stats(trace, lines * 64, 64, is_write=writes)
+    assert vectorized.as_dict() == full.stats.as_dict()
+
+    cache = SetAssociativeCache(lines * 64, 64, ways, policy=ReplacementPolicy.LRU)
+    for line, is_write in accesses:
+        cache.access_line(line, is_write=is_write)
+    cache.flush()
+    grouped = set_associative_stats(trace, lines * 64, 64, ways, is_write=writes)
+    assert grouped.as_dict() == cache.stats.as_dict()
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=31), st.booleans()),
+        min_size=0,
+        max_size=250,
+    ),
+    st.sampled_from([ReplacementPolicy.FIFO, ReplacementPolicy.TREE_PLRU]),
+)
+@settings(max_examples=40, deadline=None)
+def test_vectorized_policy_stats_match_reference(accesses, policy):
+    from repro.simulator.vectorized import set_associative_policy_stats
+
+    cache = SetAssociativeCache(8 * 64, 64, 2, policy=policy)
+    for line, is_write in accesses:
+        cache.access_line(line, is_write=is_write)
+    cache.flush()
+    trace = [line for line, _ in accesses]
+    writes = [is_write for _, is_write in accesses]
+    stats = set_associative_policy_stats(trace, 8 * 64, 64, 2, policy=policy, is_write=writes)
+    assert stats.as_dict() == cache.stats.as_dict()
 
 
 def test_vectorized_agrees_with_lru_inclusion_property():

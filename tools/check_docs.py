@@ -49,6 +49,7 @@ CHECKED_FILES = (
     "docs/PERFORMANCE.md",
     "docs/KERNEL_DSL.md",
     "docs/SERVER.md",
+    "docs/EXPLORE.md",
 )
 
 _EXTERNAL = ("http://", "https://", "mailto:")

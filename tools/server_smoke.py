@@ -11,6 +11,9 @@ fresh sqlite store — and asserts the service guarantees end to end:
 * a duplicate pair inside one ``/v1/batch`` call coalesces onto a single
   engine job (``meta.coalesced`` on exactly one record, ``/stats`` agrees);
 * a request over the admission budget ceiling is shed with 429/``budget``;
+* a ``/v1/explore`` tile × capacity grid ranks from one analysis per tile
+  and its table digest matches the offline ``Session.explore()`` against
+  the same store;
 * ``/stats`` accounts for every engine job with zero errors.
 
 Stdlib plus the in-repo package only.  Exit status 0 = pass; any failure
@@ -113,9 +116,22 @@ def main() -> int:
             )
             assert status == 429 and body.get("shed") == "budget", (status, body)
 
+            # Design-space explorer: a tile x capacity grid from 2 analyses,
+            # with the ranked-table digest matching the offline explorer
+            # against the same store (docs/EXPLORE.md).
+            explore = client.explore({
+                "kernel": "gemm", "levels": [32768],
+                "tiles": [1, 2], "capacities": [1024, 32768], "budget": 2000,
+            })
+            assert explore["meta"]["kernel"] == "gemm", explore["meta"]
+            assert explore["meta"]["analyses"] == 2, explore["meta"]
+            assert explore["explore"]["grid_size"] == 4, explore["explore"]["grid_size"]
+            assert any(row["pareto"] for row in explore["explore"]["configs"])
+
             stats = client.stats()
             assert stats["errors"] == 0, stats
-            assert stats["engine_jobs"] == 3, stats  # gemm + inline mini + inline small
+            # gemm + inline mini + inline small + 2 explore sub-analyses
+            assert stats["engine_jobs"] == 5, stats
             assert stats["coalesced"] >= 1, stats
             assert stats["shed_budget"] == 1, stats
             assert stats["store"]["hits"] >= 1, stats
@@ -128,6 +144,14 @@ def main() -> int:
             assert json.dumps(offline.to_dict(), sort_keys=True) == json.dumps(
                 envelope["result"], sort_keys=True
             ), "offline Session.analyze() payload differs from the server's"
+
+            offline_grid = (
+                Session().machine((32768,)).budget(2000).store(store_spec)
+                .explore("gemm", tiles=[1, 2], capacities=[1024, 32768])
+            )
+            assert offline_grid.table_digest() == explore["meta"]["table_digest"], (
+                "offline Session.explore() table digest differs from the server's"
+            )
         finally:
             # SIGINT to the server only (not the group): the CLI's
             # KeyboardInterrupt path shuts the pool down cleanly.
@@ -141,7 +165,10 @@ def main() -> int:
         if "Traceback" in stderr:
             raise AssertionError(f"server logged a traceback:\n{stderr}")
 
-    print("server smoke OK: analyze, inline source, store rerun, coalesce, shed, offline identity")
+    print(
+        "server smoke OK: analyze, inline source, store rerun, coalesce, shed, "
+        "explore, offline identity"
+    )
     return 0
 
 
