@@ -20,6 +20,7 @@ cycle.
 
 from __future__ import annotations
 
+import difflib
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
@@ -64,6 +65,16 @@ class RegistryError(KeyError):
         return self.args[0] if self.args else ""
 
 
+def suggest(name: str, known: Iterable[str]) -> str:
+    """``"; did you mean 'x'?"`` for the closest registered name, or ``""``.
+
+    Shared by every unknown-kernel/-dataset/-machine error path so typos
+    fail with a one-line hint instead of a bare listing.
+    """
+    matches = difflib.get_close_matches(name, list(known), n=1, cutoff=0.5)
+    return f"; did you mean {matches[0]!r}?" if matches else ""
+
+
 @dataclass(frozen=True)
 class KernelEntry:
     """One registered kernel: a named builder plus its dataset classes."""
@@ -82,8 +93,9 @@ class KernelEntry:
         """Instantiate the kernel for one dataset class (plus size overrides)."""
         if dataset not in self.datasets:
             raise RegistryError(
-                f"kernel {self.name!r} has no dataset {dataset!r}; "
-                f"available: {', '.join(self.datasets)}"
+                f"kernel {self.name!r} has no dataset {dataset!r}"
+                f"{suggest(dataset, self.datasets)} "
+                f"(available: {', '.join(self.datasets)})"
             )
         sizes = dict(self.sizes_for(dataset))
         if overrides:
@@ -290,7 +302,8 @@ def get_kernel(name: str) -> KernelEntry:
         return _KERNELS[name]
     except KeyError:
         raise RegistryError(
-            f"unknown kernel {name!r}; available: {', '.join(sorted(_KERNELS))}"
+            f"unknown kernel {name!r}{suggest(name, _KERNELS)} "
+            f"(available: {', '.join(sorted(_KERNELS))})"
         ) from None
 
 
@@ -317,7 +330,8 @@ def get_machine(name: str) -> MachineEntry:
         return _MACHINES[name]
     except KeyError:
         raise RegistryError(
-            f"unknown machine {name!r}; available: {', '.join(sorted(_MACHINES))}"
+            f"unknown machine {name!r}{suggest(name, _MACHINES)} "
+            f"(available: {', '.join(sorted(_MACHINES))})"
         ) from None
 
 

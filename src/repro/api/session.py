@@ -502,6 +502,45 @@ class Session:
             store.put_result(digest, result.to_dict())
         return result
 
+    def lint(
+        self,
+        target: Union[str, Scop],
+        dataset: Optional[str] = None,
+        *,
+        cost: bool = True,
+    ):
+        """Statically verify one kernel (by registered name) or one :class:`Scop`.
+
+        Runs every :mod:`repro.verify` check against the session's machine
+        and model options and returns a
+        :class:`~repro.verify.VerifyReport`; no cache-model analysis is
+        performed.  ``cost=True`` (default) also runs the symbolic-cost
+        probe under the session's budget, predicting whether an
+        :meth:`analyze` call would trip it (its wall cost is bounded by
+        that budget).
+        """
+        from ..verify import verify_scop
+
+        if isinstance(target, Scop):
+            if dataset is not None:
+                raise SessionConfigError(
+                    "dataset only applies to kernel names; "
+                    "build the Scop with the desired sizes instead"
+                )
+            scop = target
+        else:
+            entry = self._registry.get_kernel(target)
+            dataset = dataset if dataset is not None else entry.datasets[0]
+            scop = entry.build(dataset)
+        return verify_scop(
+            scop,
+            self._machine,
+            dataset=dataset,
+            budget=self._budget,
+            cost=cost,
+            options=self.model_options(),
+        )
+
     def derive(self, *, machine=None, capacities=None) -> "Session":
         """A copy of this session with selected knobs replaced.
 

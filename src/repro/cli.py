@@ -46,7 +46,12 @@ from .engine.store import (
     validate_store_path,
 )
 from .frontend import KernelParseError, parse_kernel_path
-from .reporting import format_batch_summary, format_miss_curve, format_table
+from .reporting import (
+    format_batch_summary,
+    format_diagnostics,
+    format_miss_curve,
+    format_table,
+)
 from .reporting.bench import (
     compare_reports,
     default_baseline_path,
@@ -481,6 +486,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_store_arguments(analyze_parser)
     _add_backend_argument(analyze_parser)
 
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="statically verify a kernel and predict its symbolic cost "
+        "without running the model (diagnostic codes: docs/LINT.md)",
+    )
+    lint_parser.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="kernel DSL (.knl) file to lint; alternatively use --kernel",
+    )
+    lint_parser.add_argument(
+        "--kernel",
+        default=None,
+        metavar="NAME",
+        help="registered kernel to lint instead of a file (see `list`)",
+    )
+    lint_parser.add_argument(
+        "--dataset",
+        default=None,
+        help="dataset to instantiate (default: the file's first block, or "
+        "'mini' for registered kernels)",
+    )
+    lint_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="schema-versioned machine-readable findings instead of the table",
+    )
+    lint_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings also fail the lint (exit 3), not just errors",
+    )
+    lint_parser.add_argument(
+        "--no-cost",
+        action="store_true",
+        help="skip the symbolic-cost probe (COST findings); static checks only",
+    )
+    _add_machine_arguments(lint_parser)
+    _add_budget_argument(lint_parser)
+
     sim_parser = subparsers.add_parser("simulate", help="run the trace-driven simulator")
     _add_cache_arguments(sim_parser)
     sim_parser.add_argument("--associativity", type=int, default=None, help="ways (default: fully associative)")
@@ -742,6 +788,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "analyze":
         return _run_analyze(args)
 
+    if args.command == "lint":
+        return _run_lint(args)
+
     if args.command == "bench":
         return _run_bench(args)
 
@@ -752,11 +801,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     try:
         entry = registry.get_kernel(args.kernel)
-    except RegistryError:
-        print(
-            f"unknown kernel {args.kernel!r}; run `repro-haystack list` for the available kernels",
-            file=sys.stderr,
-        )
+    except RegistryError as exc:
+        # The registry message is a one-liner with a did-you-mean hint and
+        # the full kernel listing.
+        print(str(exc), file=sys.stderr)
         return 2
     try:
         scop = entry.build(args.dataset)
@@ -1042,6 +1090,79 @@ def _run_analyze(args) -> int:
     if args.compare:
         return _run_compare(args, machine, scop, structural=True)
     return _run_model(args, machine, scop, structural=True)
+
+
+def _run_lint(args) -> int:
+    """``lint`` subcommand: static diagnostics + symbolic-cost prediction.
+
+    Exit status: 0 = clean (infos and, without ``--strict``, warnings are
+    allowed), 2 = bad arguments / unreadable or unparsable input, 3 = at
+    least one error-severity finding (with ``--strict``: or warning).
+    """
+    from .verify import verify_scop
+
+    if (args.file is None) == (args.kernel is None):
+        print("lint needs exactly one input: a .knl file or --kernel NAME", file=sys.stderr)
+        return 2
+    try:
+        machine = _machine_from_args(args)
+    except (_ArgsError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.file is not None:
+        try:
+            program = parse_kernel_path(args.file)
+        except OSError as exc:
+            print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+            return 2
+        except KernelParseError as exc:
+            print(exc.render(), file=sys.stderr)
+            return 2
+        dataset = args.dataset or next(iter(program.datasets))
+        kernel = program.name
+        try:
+            scop = program.instantiate(program.dataset_sizes(dataset))
+        except KernelParseError as exc:
+            print(exc.render(), file=sys.stderr)
+            return 2
+    else:
+        dataset = args.dataset or "mini"
+        kernel = args.kernel
+        try:
+            scop = registry.get_kernel(kernel).build(dataset)
+        except RegistryError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    report = verify_scop(
+        scop,
+        machine,
+        dataset=dataset,
+        budget=_budget_value(args),
+        cost=not args.no_cost,
+    )
+    failed = report.has_errors(strict=args.strict)
+    if args.json:
+        print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+        return 3 if failed else 0
+
+    counts = report.counts()
+    source = args.file if args.file is not None else kernel
+    if report.diagnostics:
+        print(
+            format_diagnostics(
+                report.diagnostics, title=f"{kernel} ({dataset}) — lint of {source}"
+            )
+        )
+    summary = ", ".join(f"{counts[name]} {name}(s)" for name in ("error", "warning", "info"))
+    print(f"lint: {summary}")
+    if report.cost is not None and report.cost.outcome == "fits":
+        print(
+            f"cost: fits the budget ({report.cost.work_units} of "
+            f"{report.cost.budget if report.cost.budget is not None else 'unlimited'} work units)"
+        )
+    return 3 if failed else 0
 
 
 def _run_kernels(args) -> int:

@@ -44,7 +44,25 @@ from .distance import StackDistanceAnalysis
 from .prevmap import ModelFallbackRequired
 from .results import AccessMissCounts, LevelMissCounts, ModelResult, TimingBreakdown
 
-__all__ = ["CacheModel", "ModelOptions"]
+__all__ = ["CacheModel", "ModelOptions", "SymbolicProbe"]
+
+
+@dataclass(frozen=True)
+class SymbolicProbe:
+    """Outcome of :meth:`CacheModel.symbolic_probe`.
+
+    ``outcome`` is ``"ok"`` (the symbolic phase completed within budget),
+    ``"budget"`` (the work budget tripped) or ``"fallback"`` (the pipeline
+    cannot handle the program exactly); ``work_units`` is the deterministic
+    cost charged up to that point.  On success ``result`` carries the full
+    symbolic :class:`~repro.core.results.ModelResult` (piece statistics and
+    all).
+    """
+
+    outcome: str
+    work_units: int
+    result: Optional["ModelResult"] = None
+    reason: str = ""
 
 
 @dataclass
@@ -91,6 +109,12 @@ class ModelOptions:
     #: hierarchy levels; ``None`` keeps just the hierarchy.  The curve shares
     #: the single counting pass, so sweep points are nearly free.
     curve_capacities: Optional[Tuple[int, ...]] = None
+    #: Static verification pre-flight (:mod:`repro.verify`) before any
+    #: analysis work: ``"off"`` (default) skips it, ``"warn"`` emits a
+    #: :class:`~repro.verify.VerificationWarning` per error-severity finding,
+    #: ``"error"`` raises :class:`~repro.verify.VerificationError` so
+    #: analyze/curve/explore jobs refuse provably-broken inputs.
+    verify: str = "off"
 
     def counter_options(self) -> CounterOptions:
         return CounterOptions(
@@ -117,7 +141,13 @@ class CacheModel:
         :class:`repro.core.budget.WorkBudget`); both an exact-computation
         failure and budget exhaustion degrade to the trace-based fallback,
         which is exact and flagged on the result.
+
+        With :attr:`ModelOptions.verify` set to ``"warn"`` or ``"error"``
+        the static verifier (:mod:`repro.verify`) pre-flights the scop and
+        warns about — or refuses — provably-broken inputs before any
+        analysis work is spent.
         """
+        self._preflight(scop)
         budget = WorkBudget(self.options.symbolic_work_budget)
         try:
             with active_budget(budget):
@@ -146,6 +176,49 @@ class CacheModel:
         failure and invoke this method explicitly.
         """
         return self._analyze_by_trace(scop, used_fallback=True)
+
+    def symbolic_probe(self, scop: Scop) -> "SymbolicProbe":
+        """Run only the symbolic phase and report its deterministic cost.
+
+        This is the measurement half of the ``repro.verify`` COST
+        diagnostic: the probe executes the exact same budgeted pipeline as
+        :meth:`analyze` — work-unit charges depend only on the program, not
+        on cache warmth or backend — but never assembles a user-facing
+        result and never falls back to the (potentially minutes-long)
+        trace.  Its wall-clock cost is therefore bounded by the configured
+        budget, and its trip/no-trip outcome is, by construction, the
+        outcome a real analysis under the same options would see.
+        """
+        budget = WorkBudget(self.options.symbolic_work_budget)
+        try:
+            with active_budget(budget):
+                result = self._analyze_symbolic_under_budget(scop, budget)
+        except BudgetExhausted:
+            return SymbolicProbe(outcome="budget", work_units=budget.used, result=None)
+        except ModelFallbackRequired as exc:
+            return SymbolicProbe(
+                outcome="fallback", work_units=budget.used, result=None, reason=str(exc)
+            )
+        return SymbolicProbe(outcome="ok", work_units=budget.used, result=result)
+
+    def _preflight(self, scop: Scop) -> None:
+        """Static verification gate controlled by :attr:`ModelOptions.verify`."""
+        mode = self.options.verify
+        if mode == "off":
+            return
+        if mode not in ("warn", "error"):
+            raise ValueError(f"verify must be 'off', 'warn' or 'error', got {mode!r}")
+        from ..verify import VerificationError, VerificationWarning, check_scop
+
+        findings = [diag for diag in check_scop(scop) if diag.severity == "error"]
+        if not findings:
+            return
+        if mode == "error":
+            raise VerificationError(findings)
+        import warnings
+
+        for diag in findings:
+            warnings.warn(diag.render(), VerificationWarning, stacklevel=3)
 
     # ------------------------------------------------------------------
     # Symbolic pipeline

@@ -28,13 +28,14 @@ consumer (Session, batch engine, store, miss curves) works unchanged.
 
 from __future__ import annotations
 
+import difflib
 import os
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from ..isl.constraints import Constraint, ConstraintSystem
 from ..isl.qpoly import QPoly
-from ..scop.scop import AccessRef, Array, Scop, Statement
+from ..scop.scop import AccessRef, Array, Scop, SourceLoc, Statement
 from .domains import expression_to_poly, parse_expression
 from .errors import KernelParseError, located_error
 from .lexer import NAME, STRING, Token, TokenStream
@@ -109,9 +110,11 @@ class KernelProgram:
     def dataset_sizes(self, dataset: str) -> Dict[str, int]:
         """Size bindings of one dataset block (:class:`KernelParseError` on typos)."""
         if dataset not in self.datasets:
+            close = difflib.get_close_matches(dataset, list(self.datasets), n=1, cutoff=0.5)
+            hint = f"; did you mean {close[0]!r}?" if close else ""
             raise KernelParseError(
-                f"kernel {self.name!r} has no dataset {dataset!r}; "
-                f"available: {', '.join(self.datasets)}",
+                f"kernel {self.name!r} has no dataset {dataset!r}{hint} "
+                f"(available: {', '.join(self.datasets)})",
                 filename=self.filename,
             )
         return dict(self.datasets[dataset])
@@ -147,7 +150,14 @@ class KernelProgram:
                         decl.token,
                     )
                 shape.append(int(constant))
-            scop.add_array(Array(decl.name, tuple(shape), decl.element_size))
+            scop.add_array(
+                Array(
+                    decl.name,
+                    tuple(shape),
+                    decl.element_size,
+                    location=self._location(decl.token),
+                )
+            )
         for decl in self.statements:
             scop.add_statement(self._instantiate_statement(decl, scop, params))
         return scop
@@ -188,14 +198,28 @@ class KernelProgram:
                 )
                 for index in access.indices
             )
-            accesses.append(AccessRef(array, exprs, access.is_write))
+            accesses.append(
+                AccessRef(
+                    array,
+                    exprs,
+                    access.is_write,
+                    location=self._location(access.token),
+                )
+            )
         return Statement(
             name=decl.name,
             loop_vars=variables,
             domain=domain,
             schedule=decl.schedule,
             accesses=accesses,
+            location=self._location(decl.token),
         )
+
+    def _location(self, token: Optional[Token]) -> Optional[SourceLoc]:
+        """Source position of ``token`` for diagnostics, if it has one."""
+        if token is None:
+            return None
+        return SourceLoc(self.filename, token.line, token.col)
 
     def _resolve(
         self,

@@ -2,7 +2,13 @@
 
 from .batch import format_batch_summary
 from .bench import compare_reports, format_bench_summary, run_suite, suite_names
-from .tables import format_miss_curve, format_series, format_table, geometric_mean
+from .tables import (
+    format_diagnostics,
+    format_miss_curve,
+    format_series,
+    format_table,
+    geometric_mean,
+)
 
 
 def __getattr__(name):
@@ -20,6 +26,7 @@ __all__ = [
     "diff_payloads",
     "format_batch_summary",
     "format_bench_summary",
+    "format_diagnostics",
     "format_miss_curve",
     "format_series",
     "format_table",

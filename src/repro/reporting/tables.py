@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["format_miss_curve", "format_table", "format_series", "geometric_mean"]
+__all__ = [
+    "format_diagnostics",
+    "format_miss_curve",
+    "format_table",
+    "format_series",
+    "geometric_mean",
+]
 
 
 def geometric_mean(values: Sequence[float]) -> float:
@@ -33,6 +39,21 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence], *, title: str
     for row in rendered_rows:
         lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_diagnostics(diagnostics: Sequence, *, title: str = "") -> str:
+    """Render verifier findings as an aligned code/severity/location table.
+
+    Shared by the CLI ``lint`` command and the server's lint/error payload
+    formatting.  ``diagnostics`` are :class:`repro.verify.Diagnostic`
+    objects (duck-typed: anything with ``code``, ``severity``,
+    ``location_str`` and ``message`` renders).
+    """
+    rows = [
+        (diag.code, diag.severity, diag.location_str or "-", diag.message)
+        for diag in diagnostics
+    ]
+    return format_table(["code", "severity", "location", "message"], rows, title=title)
 
 
 def format_miss_curve(curve, capacities_bytes: Sequence[int], *, title: str = "") -> str:

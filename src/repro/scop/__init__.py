@@ -1,7 +1,7 @@
 """Static control program representation, builder DSL and kernels."""
 
 from .builder import ArrayHandle, ScopBuilder, affine
-from .scop import AccessRef, Array, Scop, Statement
+from .scop import AccessRef, Array, Scop, SourceLoc, Statement
 
 __all__ = [
     "AccessRef",
@@ -9,6 +9,7 @@ __all__ = [
     "ArrayHandle",
     "Scop",
     "ScopBuilder",
+    "SourceLoc",
     "Statement",
     "affine",
 ]

@@ -22,11 +22,33 @@ from ..isl.constraints import ConstraintSystem, enumerate_points
 from ..isl.counting import cardinality
 from ..isl.qpoly import QPoly
 
-__all__ = ["AccessRef", "Array", "Scop", "Statement", "ScheduleEntry"]
+__all__ = ["AccessRef", "Array", "Scop", "SourceLoc", "Statement", "ScheduleEntry"]
 
 
 #: A schedule entry is either a static position (int) or a loop variable name.
 ScheduleEntry = Union[int, str]
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """Source position (``file:line:col``) of a statement or access.
+
+    Attached by the kernel frontend when a scop is instantiated from a
+    ``.knl`` file so that downstream diagnostics (:mod:`repro.verify`) can
+    point back at the offending source text.  Programs built through
+    :class:`~repro.scop.builder.ScopBuilder` carry no locations.  The field
+    is deliberately excluded from equality: two scops that describe the same
+    program compare (and digest, see
+    :meth:`repro.engine.jobs.JobSpec.key`) identically regardless of where
+    their text lived.
+    """
+
+    filename: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.col}"
 
 
 @dataclass(frozen=True)
@@ -36,6 +58,9 @@ class Array:
     name: str
     shape: Tuple[int, ...]
     element_size: int = 8
+    #: Source position of the declaration in the originating ``.knl`` file,
+    #: if any.  Not part of the array identity (see :class:`SourceLoc`).
+    location: Optional[SourceLoc] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.shape:
@@ -80,6 +105,9 @@ class AccessRef:
     array: Array
     indices: Tuple[QPoly, ...]
     is_write: bool = False
+    #: Source position of the reference in the originating ``.knl`` file,
+    #: if any.  Not part of the access identity (see :class:`SourceLoc`).
+    location: Optional[SourceLoc] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.indices) != self.array.rank:
@@ -88,7 +116,12 @@ class AccessRef:
             )
 
     def rename(self, mapping: Mapping[str, QPoly]) -> "AccessRef":
-        return AccessRef(self.array, tuple(expr.substitute(mapping) for expr in self.indices), self.is_write)
+        return AccessRef(
+            self.array,
+            tuple(expr.substitute(mapping) for expr in self.indices),
+            self.is_write,
+            location=self.location,
+        )
 
 
 @dataclass
@@ -100,6 +133,9 @@ class Statement:
     domain: ConstraintSystem
     schedule: Tuple[ScheduleEntry, ...]
     accesses: List[AccessRef] = field(default_factory=list)
+    #: Source position of the statement in the originating ``.knl`` file,
+    #: if any.  Not part of the statement identity (see :class:`SourceLoc`).
+    location: Optional[SourceLoc] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if len(set(self.loop_vars)) != len(self.loop_vars):

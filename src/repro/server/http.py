@@ -11,6 +11,9 @@ dependencies, and the protocol surface is four routes of JSON over
 * ``POST /v1/explore`` — one design-space request in, one ranked
   configuration table out (see
   :meth:`~repro.server.service.AnalysisService.explore`).
+* ``POST /v1/lint`` — one kernel in, the static diagnostics + cost
+  prediction of :mod:`repro.verify` out, without running the cache model
+  (see :meth:`~repro.server.service.AnalysisService.lint`).
 * ``POST /v1/batch`` — ``{"jobs": [...]}`` in, NDJSON out (chunked
   transfer encoding): one ``{"index": i, "status": s, "body": ...}`` line
   per job, streamed in completion order as the service finishes them.
@@ -173,6 +176,12 @@ class HttpServer:
             if body is None:
                 return 400, error_body("POST /v1/explore needs a JSON design-space body")
             return await self.service.explore(body)
+        if path == "/v1/lint":
+            if method != "POST":
+                return 405, error_body("use POST /v1/lint")
+            if body is None:
+                return 400, error_body("POST /v1/lint needs a JSON kernel body")
+            return await self.service.lint(body)
         return 404, error_body(f"unknown path {path!r}")
 
     async def _handle_batch(self, writer: asyncio.StreamWriter, body: Optional[Dict]) -> None:

@@ -46,8 +46,10 @@ from ..engine.jobs import JobSpec
 
 __all__ = [
     "ExplorePlan",
+    "LintRequest",
     "RequestError",
     "build_explore_plan",
+    "build_lint_request",
     "build_spec",
     "error_body",
     "result_envelope",
@@ -88,6 +90,23 @@ _EXPLORE_FIELDS = frozenset(
         "associativities",
         "budget",
         "options",
+    }
+)
+
+
+#: ``/v1/lint`` requests: the program + machine fields of ``/v1/analyze``
+#: plus the verifier's own knobs — no store, tiling, or sweep axes, because
+#: lint never runs the cache model (see ``docs/LINT.md``).
+_LINT_FIELDS = frozenset(
+    {
+        "kernel",
+        "source",
+        "dataset",
+        "machine",
+        "levels",
+        "line_size",
+        "budget",
+        "cost",
     }
 )
 
@@ -221,6 +240,115 @@ def _spec_from_source(
 
         scop = tile_scop(scop, tile)
     return session.job_spec(program.name, dataset, scop=scop), program.name
+
+
+@dataclass
+class LintRequest:
+    """A validated ``/v1/lint`` request, resolved to a concrete program.
+
+    ``budget`` is the work budget the cost probe predicts against
+    (``None`` = unlimited, i.e. the probe reports whether the symbolic
+    pipeline completes at all); ``cost=False`` skips the probe and runs
+    only the static checks.
+    """
+
+    scop: "Scop"  # noqa: F821 - imported lazily in build_lint_request
+    kernel: str
+    dataset: Optional[str]
+    machine: "MachineModel"  # noqa: F821
+    budget: Optional[int]
+    cost: bool
+
+
+def build_lint_request(payload: Dict) -> LintRequest:
+    """Validate one ``/v1/lint`` request and resolve its program + machine.
+
+    Mirrors :func:`build_spec`'s program fields (``kernel`` XOR ``source``,
+    optional ``dataset``, ``machine`` XOR ``levels``/``line_size``) plus the
+    verifier's knobs: ``budget`` (work units the cost probe predicts
+    against; ``0`` = unlimited) and ``cost`` (``false`` skips the probe).
+    """
+    from ..verify import DEFAULT_VERIFY_BUDGET
+
+    if not isinstance(payload, dict):
+        raise RequestError(f"request body must be a JSON object, got {type(payload).__name__}")
+    unknown = set(payload) - _LINT_FIELDS
+    if unknown:
+        raise RequestError(
+            f"unknown lint field(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(_LINT_FIELDS))}"
+        )
+    kernel = payload.get("kernel")
+    source = payload.get("source")
+    if (kernel is None) == (source is None):
+        raise RequestError('exactly one of "kernel" (registered name) or "source" (inline .knl text) is required')
+    if payload.get("machine") is not None and payload.get("levels") is not None:
+        raise RequestError('"machine" (preset) and "levels" (explicit hierarchy) are mutually exclusive')
+    if payload.get("line_size") is not None and payload.get("levels") is None:
+        raise RequestError('"line_size" only applies together with "levels"')
+
+    session = Session()
+    try:
+        if payload.get("machine") is not None:
+            session.machine(str(payload["machine"]))
+        elif payload.get("levels") is not None:
+            levels = payload["levels"]
+            if not isinstance(levels, list) or not levels:
+                raise RequestError('"levels" must be a non-empty list of cache sizes in bytes')
+            from ..core import CacheLevelSpec, MachineModel
+
+            session.machine(
+                MachineModel(
+                    line_size=int(payload.get("line_size", 64)),
+                    levels=tuple(
+                        CacheLevelSpec(int(size), f"L{index + 1}")
+                        for index, size in enumerate(levels)
+                    ),
+                )
+            )
+    except (SessionConfigError, ValueError, TypeError) as exc:
+        raise RequestError(str(exc)) from None
+
+    budget = payload.get("budget", DEFAULT_VERIFY_BUDGET)
+    if budget is not None and (not isinstance(budget, int) or isinstance(budget, bool)):
+        raise RequestError(f'"budget" must be an integer work-unit count, got {budget!r}')
+    budget = budget or None  # 0 = explicitly unlimited, like the CLI's --budget 0
+    cost = payload.get("cost", True)
+    if not isinstance(cost, bool):
+        raise RequestError(f'"cost" must be a boolean, got {cost!r}')
+
+    dataset = payload.get("dataset")
+    dataset = str(dataset) if dataset is not None else None
+    if source is not None:
+        from ..frontend import KernelParseError, parse_kernel
+
+        try:
+            program = parse_kernel(str(source), "<request>")
+            if dataset is None:
+                dataset = next(iter(program.datasets))
+            scop = program.instantiate(program.dataset_sizes(dataset))
+        except KernelParseError as exc:
+            raise RequestError(exc.render()) from None
+        name = program.name
+    else:
+        from ..api import registry
+
+        try:
+            entry = registry.get_kernel(str(kernel))
+            if dataset is None:
+                dataset = entry.datasets[0]
+            scop = entry.build(dataset)
+        except registry.RegistryError as exc:
+            raise RequestError(str(exc)) from None
+        name = entry.name
+    return LintRequest(
+        scop=scop,
+        kernel=name,
+        dataset=dataset,
+        machine=session.machine_model,
+        budget=budget,
+        cost=cost,
+    )
 
 
 @dataclass

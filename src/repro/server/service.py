@@ -50,6 +50,7 @@ from ..engine.store import AnalysisStore, job_digest, validate_store_env, valida
 from .protocol import (
     RequestError,
     build_explore_plan,
+    build_lint_request,
     build_spec,
     error_body,
     result_envelope,
@@ -101,6 +102,7 @@ class AnalysisService:
             "shed_budget": 0,
             "engine_jobs": 0,
             "explores": 0,
+            "lints": 0,
             "errors": 0,
         }
 
@@ -226,6 +228,38 @@ class AnalysisService:
             },
             "explore": table,
         }
+
+    async def lint(self, payload: Dict) -> Tuple[int, Dict]:
+        """One ``/v1/lint`` request in, ``(status, verify payload)`` out.
+
+        Lint never runs the cache model, so it bypasses coalescing, the
+        store, and the engine pool entirely: the static checks plus the
+        (budget-bounded) cost probe run in a worker thread and the
+        :meth:`~repro.verify.VerifyReport.to_payload` JSON comes straight
+        back.  Findings are data, not failures — a kernel full of errors
+        still answers 200; only malformed requests (400) and internal
+        faults (500) are non-OK.
+        """
+        from ..verify import verify_scop
+
+        self._counters["lints"] += 1
+        try:
+            request = build_lint_request(payload)
+        except RequestError as exc:
+            return exc.status, error_body(exc)
+        try:
+            report = await asyncio.to_thread(
+                verify_scop,
+                request.scop,
+                request.machine,
+                dataset=request.dataset,
+                budget=request.budget,
+                cost=request.cost,
+            )
+        except Exception as exc:  # noqa: BLE001 - per-request error isolation
+            self._counters["errors"] += 1
+            return 500, error_body(exc)
+        return 200, report.to_payload()
 
     def _budget_shed(self, spec: JobSpec) -> Optional[Dict]:
         """A 429 body when the request demands more work than allowed."""

@@ -1,0 +1,154 @@
+"""Static kernel verifier: coded diagnostics before any analysis runs.
+
+The model only produces sound miss counts for well-formed inputs —
+in-bounds affine accesses under an injective schedule — and its symbolic
+pipeline silently degrades to a minutes-long trace replay when a work
+budget trips.  This package fronts the expensive engine with a static
+analysis pass built from the same decision procedures
+(:mod:`repro.isl.constraints`):
+
+* :func:`verify_scop` / :func:`verify_program` run every check and return a
+  :class:`VerifyReport` of :class:`Diagnostic` findings (stable codes,
+  severities, ``file:line:col`` locations for frontend kernels);
+* :func:`repro.verify.checks.check_scop` is the pure static half (OOB,
+  DEAD, SCHED, UNUSED, WRITE-NEVER-READ, NONAFF);
+* :func:`repro.verify.cost.estimate_cost` is the COST half: a
+  deterministic prediction of whether a symbolic work budget will trip.
+
+Surfaces: ``repro-haystack lint``, :meth:`repro.api.session.Session.lint`,
+``POST /v1/lint`` on the analysis server, and the
+``ModelOptions.verify`` pre-flight inside :mod:`repro.core.model`.
+See docs/LINT.md for the full code reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.config import MachineModel
+from ..core.model import ModelOptions
+from ..frontend.parser import KernelProgram
+from ..scop.scop import Scop
+from .checks import check_scop
+from .cost import DEFAULT_VERIFY_BUDGET, CostReport, cost_diagnostics, estimate_cost
+from .diagnostics import (
+    DIAGNOSTIC_CODES,
+    DIAGNOSTICS_SCHEMA_VERSION,
+    Diagnostic,
+    SEVERITIES,
+    VerificationError,
+    VerificationWarning,
+    count_severities,
+    sort_diagnostics,
+)
+
+__all__ = [
+    "DIAGNOSTIC_CODES",
+    "DIAGNOSTICS_SCHEMA_VERSION",
+    "DEFAULT_VERIFY_BUDGET",
+    "CostReport",
+    "Diagnostic",
+    "SEVERITIES",
+    "VerificationError",
+    "VerificationWarning",
+    "VerifyReport",
+    "check_scop",
+    "cost_diagnostics",
+    "count_severities",
+    "estimate_cost",
+    "sort_diagnostics",
+    "verify_program",
+    "verify_scop",
+]
+
+
+@dataclass
+class VerifyReport:
+    """All findings for one kernel/dataset, plus the optional cost report."""
+
+    kernel: str
+    dataset: Optional[str]
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    cost: Optional[CostReport] = None
+
+    def counts(self) -> Dict[str, int]:
+        """Findings per severity (``{"error": n, "warning": n, "info": n}``)."""
+        return count_severities(self.diagnostics)
+
+    def has_errors(self, *, strict: bool = False) -> bool:
+        """Any error-severity finding (``strict`` also counts warnings)?"""
+        counts = self.counts()
+        if strict:
+            return counts["error"] + counts["warning"] > 0
+        return counts["error"] > 0
+
+    def codes(self) -> List[str]:
+        """Distinct diagnostic codes present, in report order."""
+        seen: List[str] = []
+        for diag in self.diagnostics:
+            if diag.code not in seen:
+                seen.append(diag.code)
+        return seen
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Schema-versioned JSON payload (CLI ``--json``, ``POST /v1/lint``)."""
+        payload: Dict[str, Any] = {
+            "schema_version": DIAGNOSTICS_SCHEMA_VERSION,
+            "kernel": self.kernel,
+            "dataset": self.dataset,
+            "diagnostics": [diag.to_payload() for diag in self.diagnostics],
+            "summary": self.counts(),
+        }
+        if self.cost is not None:
+            payload["cost"] = self.cost.to_payload()
+        return payload
+
+
+def verify_scop(
+    scop: Scop,
+    machine: Optional[MachineModel] = None,
+    *,
+    dataset: Optional[str] = None,
+    budget: Optional[int] = DEFAULT_VERIFY_BUDGET,
+    cost: bool = True,
+    options: Optional[ModelOptions] = None,
+) -> VerifyReport:
+    """Statically verify ``scop`` and (optionally) predict its symbolic cost.
+
+    The static checks always run; ``cost=False`` skips the budget probe
+    (useful when sweeping many datasets — the probe's wall cost, while
+    bounded by ``budget``, dominates the static checks).
+    """
+    report = VerifyReport(kernel=scop.name, dataset=dataset)
+    report.diagnostics = check_scop(scop)
+    if cost:
+        report.cost = estimate_cost(scop, machine, budget=budget, options=options)
+        report.diagnostics.extend(cost_diagnostics(report.cost))
+    report.diagnostics = sort_diagnostics(report.diagnostics)
+    return report
+
+
+def verify_program(
+    program: KernelProgram,
+    dataset: Optional[str] = None,
+    machine: Optional[MachineModel] = None,
+    *,
+    budget: Optional[int] = DEFAULT_VERIFY_BUDGET,
+    cost: bool = True,
+    options: Optional[ModelOptions] = None,
+) -> VerifyReport:
+    """Instantiate a parsed kernel at ``dataset`` and verify the result.
+
+    ``dataset`` defaults to the program's first dataset block (the same
+    convention as ``repro-haystack analyze``).  Raises
+    :class:`repro.frontend.KernelParseError` for an unknown dataset name.
+    """
+    if dataset is None:
+        if not program.datasets:
+            raise ValueError(f"kernel {program.name!r} declares no datasets")
+        dataset = next(iter(program.datasets))
+    scop = program.instantiate(program.dataset_sizes(dataset))
+    return verify_scop(
+        scop, machine, dataset=dataset, budget=budget, cost=cost, options=options
+    )

@@ -275,3 +275,60 @@ class TestAnalyze:
         assert main(["analyze", self.GEMM_KNL, "--json"]) == 2
         assert main(["analyze", self.GEMM_KNL, "--sweep", "1K:8M"]) == 2
         capsys.readouterr()
+
+
+class TestLint:
+    OOB_KNL = "examples/kernels/broken/oob.knl"
+    GEMM_KNL = "examples/kernels/gemm.knl"
+
+    def test_clean_kernel_exits_zero(self, capsys):
+        assert main(["lint", self.GEMM_KNL, "--no-cost"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_registered_kernel_by_name(self, capsys):
+        assert main(["lint", "--kernel", "trisolv", "--dataset", "mini", "--no-cost"]) == 0
+        capsys.readouterr()
+
+    def test_broken_kernel_exits_three_with_location(self, capsys):
+        assert main(["lint", self.OOB_KNL, "--no-cost"]) == 3
+        out = capsys.readouterr().out
+        assert "OOB" in out and f"{self.OOB_KNL}:18:12" in out
+
+    def test_json_payload(self, capsys):
+        assert main(["lint", self.OOB_KNL, "--no-cost", "--json"]) == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] >= 1
+        assert payload["summary"]["error"] == 1
+        oob = [d for d in payload["diagnostics"] if d["code"] == "OOB"]
+        assert oob[0]["location"]["line"] == 18 and oob[0]["location"]["col"] == 12
+
+    def test_strict_promotes_warnings(self, capsys):
+        dead = "examples/kernels/broken/dead.knl"
+        assert main(["lint", dead, "--no-cost"]) == 0
+        assert main(["lint", dead, "--no-cost", "--strict"]) == 3
+        capsys.readouterr()
+
+    def test_cost_prediction_in_output(self, capsys):
+        # A tripping budget is a warning, not an error: exit stays 0.
+        assert main(["lint", "--kernel", "gemm", "--budget", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "COST" in out and "will trip" in out
+
+    def test_unknown_kernel_did_you_mean_exit_2(self, capsys):
+        assert main(["lint", "--kernel", "gem", "--no-cost"]) == 2
+        assert "did you mean 'gemm'" in capsys.readouterr().err
+
+    def test_unknown_dataset_did_you_mean_exit_2(self, capsys):
+        assert main(["lint", "--kernel", "gemm", "--dataset", "mni", "--no-cost"]) == 2
+        assert "did you mean 'mini'" in capsys.readouterr().err
+
+    def test_exactly_one_input_required(self, capsys):
+        assert main(["lint", "--no-cost"]) == 2
+        assert main(["lint", self.GEMM_KNL, "--kernel", "gemm", "--no-cost"]) == 2
+        capsys.readouterr()
+
+    def test_parse_error_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.knl"
+        bad.write_text("kernel bad\narray A[8]\nS0: { [i] 0 <= i < 8 }\n    A[i] = 0\n")
+        assert main(["lint", str(bad), "--no-cost"]) == 2
+        assert f"{bad}:3:11:" in capsys.readouterr().err

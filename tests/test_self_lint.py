@@ -1,0 +1,63 @@
+"""The self-lint gate (tools/self_lint.py) runs green in tier-1 too.
+
+CI runs the tool as a standalone job; this test keeps the same guarantees
+inside ``pytest`` so a regression is caught before push: golden and
+registered kernels lint clean, and every seeded-mutation kernel fires
+exactly its documented diagnostic.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location(
+        "self_lint", ROOT / "tools" / "self_lint.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("self_lint", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_golden_corpus_lints_clean():
+    tool = _load_tool()
+    errors = []
+    checked = tool.lint_golden(errors)
+    assert checked >= 3  # gemm, trisolv, jacobi-2d at their datasets
+    assert errors == []
+
+
+def test_registered_kernels_lint_clean():
+    tool = _load_tool()
+    errors = []
+    checked = tool.lint_registered(errors)
+    assert checked >= 30  # the PolyBench suite across its dataset classes
+    assert errors == []
+
+
+def test_broken_corpus_fires_exactly_the_seeded_diagnostics():
+    tool = _load_tool()
+    errors = []
+    checked = tool.lint_broken(errors)
+    assert checked == 3  # oob, dead, sched
+    assert errors == []
+
+
+def test_doctored_expectation_is_caught(tmp_path, monkeypatch):
+    """The gate actually gates: a wrong directive must be reported."""
+    tool = _load_tool()
+    broken = tmp_path / "broken"
+    broken.mkdir()
+    source = (tool.BROKEN_DIR / "oob.knl").read_text(encoding="utf-8")
+    (broken / "oob.knl").write_text(
+        source.replace("# expect: OOB error @ 18:12", "# expect: OOB error @ 1:1"),
+        encoding="utf-8",
+    )
+    monkeypatch.setattr(tool, "BROKEN_DIR", broken)
+    errors = []
+    tool.lint_broken(errors)
+    assert errors and "expected OOB error @ 1:1" in errors[0]

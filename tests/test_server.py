@@ -373,3 +373,73 @@ class TestHttpServer:
         assert all(record["status"] == 200 for record in records)
         # The duplicate gemm coalesced into its twin: two engine jobs, not three.
         assert worker.calls == 2
+
+
+OOB_KNL = (
+    Path(__file__).resolve().parent.parent / "examples" / "kernels" / "broken" / "oob.knl"
+).read_text()
+
+
+class TestLintEndpoint:
+    def test_registered_kernel_lints_clean(self):
+        service = AnalysisService(workers=0)
+        status, body = asyncio.run(service.lint({"kernel": "gemm", "cost": False}))
+        assert status == 200
+        assert body["schema_version"] >= 1
+        assert body["kernel"] == "gemm" and body["dataset"] == "mini"
+        assert body["summary"]["error"] == 0
+        assert service.stats()["lints"] == 1
+
+    def test_inline_source_carries_request_locations(self):
+        service = AnalysisService(workers=0)
+        status, body = asyncio.run(service.lint({"source": OOB_KNL, "cost": False}))
+        assert status == 200
+        oob = [d for d in body["diagnostics"] if d["code"] == "OOB"]
+        assert len(oob) == 1 and oob[0]["severity"] == "error"
+        assert oob[0]["location"] == {"file": "<request>", "line": 18, "col": 12}
+        # Findings are data, not failures: errors still answer 200.
+        assert body["summary"]["error"] == 1
+
+    def test_cost_prediction_rides_in_the_payload(self):
+        service = AnalysisService(workers=0)
+        status, body = asyncio.run(service.lint({"kernel": "gemm", "budget": 300}))
+        assert status == 200
+        assert body["cost"]["outcome"] == "budget" and body["cost"]["trips"] is True
+        assert any(d["code"] == "COST" for d in body["diagnostics"])
+
+    def test_request_validation(self):
+        service = AnalysisService(workers=0)
+        cases = [
+            ({}, "exactly one"),
+            ({"kernel": "gemm", "source": "x"}, "exactly one"),
+            ({"kernel": "gemm", "tile": 2}, "unknown lint field"),
+            ({"kernel": "gem"}, "did you mean 'gemm'"),
+            ({"kernel": "gemm", "budget": "lots"}, "budget"),
+            ({"kernel": "gemm", "cost": 1}, "cost"),
+            ({"kernel": "gemm", "machine": "paper-xeon", "levels": [1024]}, "mutually exclusive"),
+        ]
+        for payload, fragment in cases:
+            status, body = asyncio.run(service.lint(payload))
+            assert status == 400, payload
+            assert fragment in body["error"], (payload, body)
+
+    def test_lint_never_touches_the_engine(self, monkeypatch):
+        worker = _CountingWorker()
+        monkeypatch.setattr(service_module, "_execute_job", worker)
+        service = AnalysisService(workers=0)
+        status, _ = asyncio.run(service.lint({"kernel": "gemm", "cost": False}))
+        assert status == 200
+        assert worker.calls == 0
+        assert service.stats()["engine_jobs"] == 0
+
+    def test_http_round_trip(self):
+        with BackgroundServer(workers=0) as server:
+            client = server.client()
+            status, body = client.request("POST", "/v1/lint", {"source": OOB_KNL, "cost": False})
+            assert status == 200
+            assert body["summary"]["error"] == 1
+            # Method/body errors are rejected at the HTTP layer, before the
+            # service sees (and counts) a lint request.
+            assert client.request("GET", "/v1/lint")[0] == 405
+            assert client.request("POST", "/v1/lint")[0] == 400
+            assert client.stats()["lints"] == 1

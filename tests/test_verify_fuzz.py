@@ -1,0 +1,97 @@
+"""Property-based fuzzing of the verifier over random builder programs.
+
+Three properties, over randomly shaped affine loop nests:
+
+* ``check_scop`` never raises — lint findings are data, not crashes;
+* a program built with every access provably in bounds yields no
+  error-severity findings (the checks have no false errors on clean code);
+* injecting one out-of-range access into an otherwise clean program yields
+  exactly one OOB finding, at the injected access.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scop.builder import ScopBuilder
+from repro.verify import check_scop
+
+#: Small shapes keep each polyhedral feasibility query fast; the *structure*
+#: (depth, statement count, offsets) is what varies.
+extents = st.integers(min_value=2, max_value=12)
+depths = st.integers(min_value=1, max_value=3)
+offsets = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def programs(draw):
+    """A random perfect loop nest with in-bounds strided/offset accesses.
+
+    Every array is sized ``extent + max_offset`` so a read at ``var +
+    offset`` stays in bounds by construction; statements read one array and
+    accumulate into another (so no dataflow findings fire either).
+    """
+    depth = draw(depths)
+    extent = draw(extents)
+    statements = draw(st.integers(min_value=1, max_value=3))
+    offs = [draw(offsets) for _ in range(statements)]
+
+    b = ScopBuilder("fuzz")
+    arrays = []
+    for index, off in enumerate(offs):
+        shape = [extent + max(offs)] * depth
+        src = b.array(f"src{index}", shape)
+        acc = b.array(f"acc{index}", shape)
+        arrays.append((src, acc, off))
+
+    def body(level, loop_vars):
+        if level == depth:
+            for src, acc, off in arrays:
+                read_idx = tuple(v + off for v in loop_vars)
+                write_idx = tuple(loop_vars)
+                b.stmt(reads=[src[read_idx], acc[write_idx]], writes=[acc[write_idx]])
+            return
+        with b.loop(f"i{level}", 0, extent) as var:
+            body(level + 1, loop_vars + [var])
+
+    body(0, [])
+    return b.build(), depth, extent
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs())
+def test_clean_programs_have_no_errors(data):
+    scop, _, _ = data
+    findings = check_scop(scop)  # property one: never raises
+    assert [d for d in findings if d.severity == "error"] == [], [
+        d.render() for d in findings
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs(), st.integers(min_value=1, max_value=4))
+def test_injected_overrun_fires_exactly_one_oob(data, overshoot):
+    scop, depth, extent = data
+    # Re-build the program with one extra statement whose read walks
+    # ``overshoot`` cells past the end of a fresh array in dimension 0.
+    b = ScopBuilder("fuzz-oob")
+    victim = b.array("victim", [extent] * depth)
+    sink = b.array("sink", [extent] * depth)
+
+    def body(level, loop_vars):
+        if level == depth:
+            idx = tuple(loop_vars)
+            bad = tuple(
+                v + (overshoot if dim == 0 else 0) for dim, v in enumerate(loop_vars)
+            )
+            b.stmt(reads=[victim[bad], sink[idx]], writes=[sink[idx]])
+            return
+        with b.loop(f"i{level}", 0, extent) as var:
+            body(level + 1, loop_vars + [var])
+
+    body(0, [])
+    findings = check_scop(b.build())
+    oob = [d for d in findings if d.code == "OOB"]
+    assert len(oob) == 1
+    assert oob[0].severity == "error" and oob[0].array == "victim"
+    assert oob[0].access_position == 0  # the injected read, nothing else
+    assert [d for d in findings if d.severity == "error"] == oob

@@ -50,6 +50,7 @@ CHECKED_FILES = (
     "docs/KERNEL_DSL.md",
     "docs/SERVER.md",
     "docs/EXPLORE.md",
+    "docs/LINT.md",
 )
 
 _EXTERNAL = ("http://", "https://", "mailto:")

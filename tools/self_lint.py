@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Self-lint gate: the verifier must pass its own corpus.
+
+Three guarantees, enforced in CI (the ``self-lint`` job) and in the tier-1
+suite (``tests/test_self_lint.py``):
+
+* every **golden kernel** under ``examples/kernels/*.knl`` lints with zero
+  error-severity diagnostics, at every dataset it declares;
+* every **registered kernel** (the PolyBench suite) lints with zero errors
+  at every registered dataset class;
+* every **broken kernel** under ``examples/kernels/broken/*.knl`` fires
+  exactly the diagnostic its ``# expect: CODE severity @ line:col``
+  directive names — correct code, severity, and source location — and none
+  of the *other* seeded codes, so the checks cannot silently swap or decay
+  into catch-alls.
+
+The sweep runs the static checks only (``cost=False``): the cost probe's
+wall time is bounded by the budget but multiplies across ~60 kernel×dataset
+pairs, and its trip/no-trip prediction is covered separately by the
+acceptance test in ``tests/test_verify.py``.
+
+Exit status 0 = clean, 1 = at least one violation (each printed on its own
+line).  Run it directly:
+
+    python tools/self_lint.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parent.parent
+KERNEL_DIR = ROOT / "examples" / "kernels"
+BROKEN_DIR = KERNEL_DIR / "broken"
+
+#: ``# expect: CODE severity @ line:col`` directives in broken kernels.
+EXPECT = re.compile(
+    r"^#\s*expect:\s*(?P<code>[A-Z-]+)\s+(?P<severity>error|warning|info)"
+    r"\s+@\s+(?P<line>\d+):(?P<col>\d+)\s*$",
+    re.MULTILINE,
+)
+
+#: The codes seeded across the broken corpus; each broken kernel must fire
+#: its own and stay silent on the other two.
+SEEDED_CODES = ("OOB", "DEAD", "SCHED")
+
+
+def _ensure_import_path() -> None:
+    src = ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+
+def _rel(path: Path) -> Path:
+    """``path`` relative to the repo root when possible (for messages)."""
+    try:
+        return path.relative_to(ROOT)
+    except ValueError:
+        return path
+
+
+def lint_golden(errors: List[str]) -> int:
+    """Golden ``.knl`` files: zero error-severity findings at every dataset."""
+    from repro.frontend import KernelParseError, parse_kernel_path
+    from repro.verify import verify_program
+
+    checked = 0
+    for path in sorted(KERNEL_DIR.glob("*.knl")):
+        rel = _rel(path)
+        try:
+            program = parse_kernel_path(str(path))
+        except KernelParseError as exc:
+            errors.append(f"{rel}: failed to parse: {exc.render()}")
+            continue
+        for dataset in program.datasets:
+            checked += 1
+            report = verify_program(program, dataset, cost=False)
+            for diag in report.diagnostics:
+                if diag.severity == "error":
+                    errors.append(f"{rel} [{dataset}]: {diag.render()}")
+    return checked
+
+
+def lint_registered(errors: List[str]) -> int:
+    """Every registered kernel x dataset: zero error-severity findings."""
+    from repro.api import registry
+    from repro.verify import verify_scop
+
+    checked = 0
+    for entry in registry.kernel_entries():
+        for dataset in entry.datasets:
+            checked += 1
+            try:
+                scop = entry.build(dataset)
+            except Exception as exc:  # noqa: BLE001 - report, keep sweeping
+                errors.append(f"kernel {entry.name} [{dataset}]: build failed: {exc}")
+                continue
+            report = verify_scop(scop, dataset=dataset, cost=False)
+            for diag in report.diagnostics:
+                if diag.severity == "error":
+                    errors.append(f"kernel {entry.name} [{dataset}]: {diag.render()}")
+    return checked
+
+
+def lint_broken(errors: List[str]) -> int:
+    """Broken ``.knl`` files: exactly the seeded diagnostic, at its location."""
+    from repro.frontend import KernelParseError, parse_kernel_path
+    from repro.verify import verify_program
+
+    checked = 0
+    for path in sorted(BROKEN_DIR.glob("*.knl")):
+        rel = _rel(path)
+        checked += 1
+        text = path.read_text(encoding="utf-8")
+        expects = list(EXPECT.finditer(text))
+        if not expects:
+            errors.append(f"{rel}: no '# expect: CODE severity @ line:col' directive")
+            continue
+        try:
+            program = parse_kernel_path(str(path))
+        except KernelParseError as exc:
+            errors.append(f"{rel}: failed to parse: {exc.render()}")
+            continue
+        report = verify_program(program, cost=False)
+        fired = {
+            (d.code, d.severity, d.location.line if d.location else None,
+             d.location.col if d.location else None)
+            for d in report.diagnostics
+        }
+        expected_codes = set()
+        for match in expects:
+            expected_codes.add(match["code"])
+            want = (
+                match["code"],
+                match["severity"],
+                int(match["line"]),
+                int(match["col"]),
+            )
+            if want not in fired:
+                got = "; ".join(d.render() for d in report.diagnostics) or "nothing"
+                errors.append(
+                    f"{rel}: expected {want[0]} {want[1]} @ {want[2]}:{want[3]}, got: {got}"
+                )
+        for code in SEEDED_CODES:
+            if code in expected_codes:
+                continue
+            stray = [d for d in report.diagnostics if d.code == code]
+            if stray:
+                errors.append(
+                    f"{rel}: unexpected {code} finding(s): "
+                    + "; ".join(d.render() for d in stray)
+                )
+    return checked
+
+
+def main() -> int:
+    _ensure_import_path()
+    errors: List[str] = []
+    golden = lint_golden(errors)
+    registered = lint_registered(errors)
+    broken = lint_broken(errors)
+    for line in errors:
+        print(line)
+    status = "FAILED" if errors else "ok"
+    print(
+        f"self-lint {status}: {golden} golden, {registered} registered, "
+        f"{broken} broken kernel(s) checked, {len(errors)} violation(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
